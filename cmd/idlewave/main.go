@@ -1,0 +1,54 @@
+// Command idlewave runs a single idle-wave reproduction experiment and
+// prints its report.
+//
+// Usage:
+//
+//	idlewave -list
+//	idlewave -exp fig4
+//	idlewave -exp fig8 -seed 7 -full
+//	idlewave -exp fig5 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id (fig1..fig9, eq2)")
+		seed = flag.Uint64("seed", 42, "random seed for noise and injections")
+		full = flag.Bool("full", false, "run full (paper-scale) problem sizes")
+		csv  = flag.Bool("csv", false, "print the data rows as CSV instead of the report")
+		list = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range core.Experiments() {
+			title, _ := core.Title(id)
+			fmt.Printf("%-5s %s\n", id, title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "idlewave: pick an experiment with -exp (see -list)")
+		os.Exit(2)
+	}
+	rep, err := core.Run(*exp, core.Options{Seed: *seed, Quick: !*full})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idlewave: %v\n", err)
+		os.Exit(1)
+	}
+	if *csv {
+		for _, row := range rep.Data {
+			fmt.Println(strings.Join(row, ","))
+		}
+		return
+	}
+	fmt.Print(rep.String())
+}

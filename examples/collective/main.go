@@ -1,0 +1,53 @@
+// Collective: write rank programs as plain Go functions (the process
+// API) and study how collective operations transport delays — the
+// paper's future-work question. A one-off delay before an Allreduce
+// stalls every rank at once instead of launching a travelling wave.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const (
+		ranks = 16
+		steps = 12
+		src   = 7
+	)
+	delay := 12 * time.Millisecond
+
+	run := func(name string, withAllreduce bool) {
+		res, err := idlewave.RunProcesses(idlewave.Simulated(), ranks, 1, func(c *idlewave.Comm) {
+			for s := 0; s < steps; s++ {
+				if c.Rank() == src && s == 1 {
+					c.Delay(delay)
+				}
+				c.Compute(3 * time.Millisecond)
+				c.Isend((c.Rank()+1)%c.Size(), 8192)
+				c.Isend((c.Rank()-1+c.Size())%c.Size(), 8192)
+				c.Irecv((c.Rank()-1+c.Size())%c.Size(), 8192)
+				c.Irecv((c.Rank()+1)%c.Size(), 8192)
+				c.Waitall()
+				if withAllreduce && (s+1)%4 == 0 {
+					c.Allreduce(8192)
+				}
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s: runtime %.1f ms, total idle %.1f ms ===\n",
+			name, res.End*1e3, res.TotalIdle()*1e3)
+		if err := res.RenderTimeline(os.Stdout, 88); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run("point-to-point only (travelling idle wave)", false)
+	run("allreduce every 4 steps (global stall at the next collective)", true)
+}

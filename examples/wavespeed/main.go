@@ -1,0 +1,73 @@
+// Wavespeed: sweep the communication parameter space (protocol, direction,
+// neighbor distance) and compare the measured idle-wave propagation speed
+// with Eq. 2 of the paper — the evaluation behind Figs. 5 and 7.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	machine := idlewave.Emmy()
+	texec := 3 * time.Millisecond
+
+	type combo struct {
+		name         string
+		direction    int // 0 uni, 1 bi
+		messageBytes int
+		distance     int
+	}
+	combos := []combo{
+		{"eager  unidirectional d=1", 0, 8192, 1},
+		{"eager  bidirectional  d=1", 1, 8192, 1},
+		{"rndzv  unidirectional d=1", 0, 1 << 18, 1},
+		{"rndzv  bidirectional  d=1", 1, 1 << 18, 1},
+		{"rndzv  unidirectional d=2", 0, 1 << 18, 2},
+		{"rndzv  bidirectional  d=2", 1, 1 << 18, 2},
+	}
+
+	fmt.Println("combination                 measured [ranks/s]  Eq.2 [ranks/s]")
+	for _, c := range combos {
+		dir := idlewave.Unidirectional
+		if c.direction == 1 {
+			dir = idlewave.Bidirectional
+		}
+		rendezvous := c.messageBytes > machine.EagerLimit
+		// Size the chain so the front is observable for several steps.
+		sigma := 1
+		if c.direction == 1 && rendezvous {
+			sigma = 2
+		}
+		ranks := 2*sigma*c.distance*8 + 3
+		src := ranks / 2
+
+		res, err := idlewave.Simulate(idlewave.ScenarioSpec{
+			Machine:          machine,
+			Ranks:            ranks,
+			Steps:            12,
+			Texec:            texec,
+			MessageBytes:     c.messageBytes,
+			NeighborDistance: c.distance,
+			Direction:        dir,
+			Boundary:         idlewave.Open,
+			Delay:            []idlewave.Injection{idlewave.Inject(src, 1, 15*time.Millisecond)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		measured, err := res.WaveSpeed(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Communication time: one transfer at the machine's inter-node
+		// bandwidth plus latency and overheads.
+		tcomm := time.Duration(float64(c.messageBytes)/machine.NetBandwidth*1e9)*time.Nanosecond +
+			time.Duration((float64(machine.NetLatency)+float64(machine.SendOverhead)+float64(machine.RecvOverhead))*1e9)*time.Nanosecond
+		predicted := idlewave.PredictSpeed(c.direction == 1, rendezvous, c.distance, texec, tcomm)
+		fmt.Printf("%-28s %12.0f %15.0f\n", c.name, measured, predicted)
+	}
+}

@@ -1,0 +1,284 @@
+// Package idlewave is the public API of the idle-wave propagation and
+// decay simulator — a from-scratch Go reproduction of Afzal, Hager and
+// Wellein, "Propagation and Decay of Injected One-Off Delays on Clusters:
+// A Case Study" (IEEE CLUSTER 2019; extended version arXiv:1905.10603).
+//
+// The package re-exports the pieces a downstream user needs to build
+// idle-wave experiments of their own:
+//
+//   - machine descriptions (Emmy, Meggie, Simulated) with realistic
+//     communication and noise parameters;
+//   - workload builders (bulk-synchronous loops, STREAM triad, LBM,
+//     divide kernel) over chain topologies;
+//   - the message-passing simulator (eager/rendezvous protocols,
+//     gated-progress rendezvous semantics, injected delays and noise,
+//     memory-bandwidth sharing);
+//   - wave analytics (front tracking, Eq. 2 speed, decay rates,
+//     cancellation detection);
+//   - the named reproduction experiments for every figure of the paper.
+//
+// # Quick start
+//
+//	res, err := idlewave.Simulate(idlewave.ScenarioSpec{
+//		Ranks: 18, Steps: 20,
+//		Delay:     idlewave.Inject(5, 1, 13.5*time.Millisecond),
+//		Direction: idlewave.Bidirectional,
+//	})
+//
+// See examples/ for complete programs.
+package idlewave
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpisim"
+	"repro/internal/noise"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/viz"
+	"repro/internal/wave"
+	"repro/internal/workload"
+)
+
+// Re-exported topology selectors.
+const (
+	Unidirectional = topology.Unidirectional
+	Bidirectional  = topology.Bidirectional
+	Open           = topology.Open
+	Periodic       = topology.Periodic
+)
+
+// Machine aliases cluster.Machine, the description of a simulated system.
+type Machine = cluster.Machine
+
+// Emmy returns the InfiniBand reference system.
+func Emmy() Machine { return cluster.Emmy() }
+
+// Meggie returns the Omni-Path reference system.
+func Meggie() Machine { return cluster.Meggie() }
+
+// Simulated returns the idealized pure-Hockney reference system.
+func Simulated() Machine { return cluster.Simulated() }
+
+// Injection places a one-off delay at (rank, step).
+type Injection = noise.Injection
+
+// Inject builds an Injection from a time.Duration.
+func Inject(rank, step int, d time.Duration) Injection {
+	return Injection{Rank: rank, Step: step, Duration: sim.Time(d.Seconds())}
+}
+
+// ScenarioSpec describes a bulk-synchronous idle-wave scenario.
+type ScenarioSpec struct {
+	// Machine defaults to Emmy() when zero-valued.
+	Machine Machine
+	// Ranks is the number of processes (one per node).
+	Ranks int
+	// Steps is the number of compute-communicate time steps.
+	Steps int
+	// Texec is the execution phase length; default 3 ms.
+	Texec time.Duration
+	// MessageBytes selects the message size and thereby the protocol
+	// (eager at or below the machine's eager limit); default 8192.
+	MessageBytes int
+	// NeighborDistance is the paper's d; default 1.
+	NeighborDistance int
+	// Direction selects unidirectional or bidirectional exchange.
+	Direction topology.Direction
+	// Boundary selects open or periodic chain ends.
+	Boundary topology.Boundary
+	// Delay optionally injects one-off delays.
+	Delay []Injection
+	// NoiseLevel is the paper's E: mean relative fine-grained noise per
+	// execution phase (0 = silent).
+	NoiseLevel float64
+	// Seed makes noise reproducible.
+	Seed uint64
+}
+
+// Result bundles the simulation outcome with the analytics entry points.
+type Result struct {
+	// Traces is the full per-rank activity record.
+	Traces trace.Set
+	// End is the total wall-clock runtime in seconds.
+	End float64
+	// Events is the number of simulation events executed.
+	Events uint64
+
+	spec ScenarioSpec
+}
+
+// Simulate runs a scenario and returns its result.
+func Simulate(spec ScenarioSpec) (*Result, error) {
+	if spec.Machine.Name == "" {
+		spec.Machine = Emmy()
+	}
+	if spec.Texec == 0 {
+		spec.Texec = 3 * time.Millisecond
+	}
+	if spec.MessageBytes == 0 {
+		spec.MessageBytes = 8192
+	}
+	if spec.NeighborDistance == 0 {
+		spec.NeighborDistance = 1
+	}
+	chain, err := topology.NewChain(spec.Ranks, spec.NeighborDistance, spec.Direction, spec.Boundary)
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	b := workload.BulkSync{
+		Chain:      chain,
+		Steps:      spec.Steps,
+		Texec:      sim.Time(spec.Texec.Seconds()),
+		Bytes:      spec.MessageBytes,
+		Injections: spec.Delay,
+	}
+	progs, err := b.Programs()
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	net, err := spec.Machine.FlatNetModel()
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	natural, err := spec.Machine.NaturalNoise(spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	injected := noise.Exponential(spec.Seed+1, spec.NoiseLevel, sim.Time(spec.Texec.Seconds()))
+	res, err := mpisim.Run(mpisim.Config{
+		Ranks: spec.Ranks,
+		Net:   net,
+		Noise: noise.Combine(natural, injected),
+	}, progs)
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	return &Result{Traces: res.Traces, End: float64(res.End), Events: res.Events, spec: spec}, nil
+}
+
+// WaveSpeed measures the propagation speed (ranks per second) of the idle
+// wave emanating from the given source rank.
+func (r *Result) WaveSpeed(source int) (float64, error) {
+	f := r.front(source)
+	sp, err := wave.Speed(f)
+	if err != nil {
+		return 0, fmt.Errorf("idlewave: %w", err)
+	}
+	return sp.RanksPerSecond, nil
+}
+
+// WaveDecay measures the idle-wave decay rate in seconds of amplitude
+// lost per rank travelled.
+func (r *Result) WaveDecay(source int) (float64, error) {
+	f := r.front(source)
+	d, err := wave.Decay(f)
+	if err != nil {
+		return 0, fmt.Errorf("idlewave: %w", err)
+	}
+	return float64(d.RatePerRank), nil
+}
+
+// front picks the right hop metric for the scenario's communication
+// pattern.
+func (r *Result) front(source int) wave.Front {
+	threshold := sim.Time(r.spec.Texec.Seconds()) / 2
+	eager := r.spec.MessageBytes <= r.spec.Machine.EagerLimit
+	if r.spec.Boundary == topology.Periodic && r.spec.Direction == topology.Unidirectional && eager {
+		return wave.TrackFrontForward(r.Traces, source, threshold)
+	}
+	return wave.TrackFront(r.Traces, source, r.spec.Boundary == topology.Periodic, threshold)
+}
+
+// IdleByStep returns the summed wait time of all ranks per time step, in
+// seconds — the aggregate "wave energy" profile over the run.
+func (r *Result) IdleByStep() []float64 {
+	totals := wave.TotalIdleByStep(r.Traces)
+	out := make([]float64, len(totals))
+	for i, t := range totals {
+		out[i] = float64(t)
+	}
+	return out
+}
+
+// QuietStep returns the first step from which on no rank idles longer
+// than half an execution phase, or -1 if waves are still alive at the
+// end of the run.
+func (r *Result) QuietStep() int {
+	return wave.QuietStep(r.Traces, sim.Time(r.spec.Texec.Seconds())/2)
+}
+
+// RenderTimeline writes an ASCII rank-over-time timeline of the run
+// ('.' execution, 'D' injected delay, '#' waiting, '~' noise).
+func (r *Result) RenderTimeline(w io.Writer, width int) error {
+	return viz.Timeline(w, r.Traces, viz.TimelineOptions{Width: width})
+}
+
+// TotalIdle returns the summed wait time of all ranks in seconds.
+func (r *Result) TotalIdle() float64 {
+	var total sim.Time
+	for _, rt := range r.Traces.Ranks {
+		total += rt.TotalBy(trace.Wait)
+	}
+	return float64(total)
+}
+
+// PredictSpeed is Eq. 2 of the paper: the silent-system wave speed in
+// ranks per second for the given parameters.
+func PredictSpeed(bidirectional, rendezvous bool, d int, texec, tcomm time.Duration) float64 {
+	return wave.SilentSpeed(wave.Sigma(bidirectional, rendezvous), d,
+		sim.Time(texec.Seconds()), sim.Time(tcomm.Seconds()))
+}
+
+// Comm is the process-style programming handle: write each rank as an
+// ordinary Go function using Compute/Isend/Irecv/Waitall and the
+// collective operations Barrier, Allreduce and Bcast.
+type Comm = proc.Comm
+
+// RunProcesses executes fn as the program of every rank on the machine's
+// flat network and returns the resulting traces wrapped in a Result.
+// Scenario-level analytics that need topology information (WaveSpeed,
+// WaveDecay) are not available on process-style results; use the trace
+// set and the wave package metrics instead.
+func RunProcesses(m Machine, ranks int, seed uint64, fn func(*Comm)) (*Result, error) {
+	if m.Name == "" {
+		m = Emmy()
+	}
+	net, err := m.FlatNetModel()
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	natural, err := m.NaturalNoise(seed)
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	res, err := proc.Run(mpisim.Config{Ranks: ranks, Net: net, Noise: natural}, fn)
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	return &Result{
+		Traces: res.Traces,
+		End:    float64(res.End),
+		Events: res.Events,
+		spec:   ScenarioSpec{Machine: m, Ranks: ranks, Texec: 3 * time.Millisecond},
+	}, nil
+}
+
+// Experiments lists the named paper-reproduction experiments.
+func Experiments() []string { return core.Experiments() }
+
+// RunExperiment executes a named reproduction experiment ("fig1".."fig9",
+// "eq2"). quick shrinks problem sizes for fast runs.
+func RunExperiment(id string, seed uint64, quick bool) (string, error) {
+	rep, err := core.Run(id, core.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestExtCollectiveGlobalizesDelay(t *testing.T) {
+	rep := runOK(t, "ext-collective")
+	p2p := dataVal(t, rep, 1, "affected_total")
+	coll := dataVal(t, rep, 2, "affected_total")
+	// With periodic allreduces, every rank must be hit; without, the wave
+	// may not reach everyone within the run.
+	ranks := 16.0 // quick mode
+	if coll < ranks-1 {
+		t.Errorf("allreduce variant affected only %.0f ranks, want ~all %g", coll, ranks)
+	}
+	if p2p > coll {
+		t.Errorf("point-to-point affected %.0f ranks, more than collective %.0f", p2p, coll)
+	}
+	// One step after injection, the point-to-point wave touches only the
+	// injection's neighborhood.
+	after1 := dataVal(t, rep, 1, "affected_after_1_step")
+	if after1 > 4 {
+		t.Errorf("p2p wave touched %.0f ranks one step after injection, want a local neighborhood", after1)
+	}
+}
+
+func TestExtHierarchySpeedChangesAtBoundary(t *testing.T) {
+	rep := runOK(t, "ext-hierarchy")
+	fast := dataVal(t, rep, 1, "measured_ranks_per_s")
+	slow := dataVal(t, rep, 2, "measured_ranks_per_s")
+	if fast <= slow*1.5 {
+		t.Errorf("fast-domain speed %.0f not well above slow-domain %.0f", fast, slow)
+	}
+	for i := 1; i <= 2; i++ {
+		if e := dataVal(t, rep, i, "rel_err"); e > 0.15 {
+			t.Errorf("row %d: Eq.2 error %.1f%% in its domain", i, e*100)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/noise"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/viz"
+	"repro/internal/wave"
+	"repro/internal/workload"
+)
+
+// Paper-standard controlled-experiment parameters (Section IV): one
+// process per node, compute-bound 3 ms execution phases, 8192 B messages
+// unless a specific figure says otherwise.
+var (
+	stdTexec = sim.Milli(3)
+	// Fig. 5 message sizes: small 16384 B (eager), large 248640 B
+	// (31080 doubles, above the 131072 B eager limit).
+	smallMsgBytes = 16384
+	largeMsgBytes = 31080 * 8
+)
+
+// waveThreshold separates idle-wave waits from ordinary communication
+// jitter.
+func waveThreshold() sim.Time { return stdTexec / 2 }
+
+// runFig4 reproduces the basic mechanism: eager-mode unidirectional
+// communication, a delay of 4.5 execution phases injected at rank 5 of 9,
+// the idle wave marching one rank per step.
+func runFig4(opts Options) (*Report, error) {
+	rep := &Report{}
+	m := cluster.Emmy()
+	n, steps := 9, 8
+	b := workload.BulkSync{
+		Chain:      chainOrDie(n, 1, topology.Unidirectional, topology.Open),
+		Steps:      steps,
+		Texec:      stdTexec,
+		Bytes:      8192,
+		Injections: []noise.Injection{injection(5, 1, sim.Time(4.5)*stdTexec)},
+	}
+	res, err := bulkRun(m, b, nil)
+	if err != nil {
+		return nil, err
+	}
+	var tl strings.Builder
+	if err := viz.Timeline(&tl, res.Traces, viz.TimelineOptions{Width: 96}); err != nil {
+		return nil, err
+	}
+	rep.Lines = append(rep.Lines, strings.Split(strings.TrimRight(tl.String(), "\n"), "\n")...)
+
+	f := wave.TrackFront(res.Traces, 5, false, waveThreshold())
+	sp, err := wave.Speed(f)
+	if err != nil {
+		return nil, err
+	}
+	rep.Data = [][]string{{"rank", "hops", "arrival_s", "amplitude_ms"}}
+	for _, s := range f.Samples {
+		rep.Data = append(rep.Data, []string{fmt.Sprint(s.Rank), fmt.Sprint(s.Hops),
+			fmt.Sprintf("%.5f", float64(s.Arrival)), fmt.Sprintf("%.3f", s.Amplitude.Millis())})
+	}
+	upstream := 0
+	for _, s := range f.Samples {
+		if s.Rank < 5 {
+			upstream++
+		}
+	}
+	rep.finding("idle wave speed %.1f ranks/s (Eq.2 silent: %.1f); %d upstream ranks affected (paper: none)",
+		sp.RanksPerSecond, wave.SilentSpeed(1, 1, stdTexec, commTime(m, 8192)), upstream)
+	if upstream != 0 {
+		rep.finding("WARNING: eager unidirectional wave leaked upstream")
+	}
+	return rep, nil
+}
+
+// commTime estimates one message's communication time on the machine's
+// flat network (transfer plus both overheads).
+func commTime(m cluster.Machine, bytes int) sim.Time {
+	net, err := m.FlatNetModel()
+	if err != nil {
+		return 0
+	}
+	return net.SendOverhead(0, 1, bytes) + net.Transfer(0, 1, bytes) + net.RecvOverhead(0, 1, bytes)
+}
+
+// runFig5 scans all eight combinations of protocol (eager/rendezvous),
+// direction (uni/bi) and boundary (open/periodic) on 18 ranks with a
+// delay at rank 5, reporting wave geometry for each panel.
+func runFig5(opts Options) (*Report, error) {
+	rep := &Report{}
+	m := cluster.Emmy()
+	n, steps := 18, 20
+	type panel struct {
+		id    string
+		bytes int
+		dir   topology.Direction
+		bound topology.Boundary
+	}
+	panels := []panel{
+		{"a", smallMsgBytes, topology.Unidirectional, topology.Open},
+		{"b", smallMsgBytes, topology.Unidirectional, topology.Periodic},
+		{"c", smallMsgBytes, topology.Bidirectional, topology.Open},
+		{"d", smallMsgBytes, topology.Bidirectional, topology.Periodic},
+		{"e", largeMsgBytes, topology.Unidirectional, topology.Open},
+		{"f", largeMsgBytes, topology.Unidirectional, topology.Periodic},
+		{"g", largeMsgBytes, topology.Bidirectional, topology.Open},
+		{"h", largeMsgBytes, topology.Bidirectional, topology.Periodic},
+	}
+	rep.Data = [][]string{{"panel", "protocol", "direction", "boundary",
+		"speed_ranks_per_s", "eq2_ranks_per_s", "rel_err", "quiet_step", "backward"}}
+	for _, p := range panels {
+		b := workload.BulkSync{
+			Chain:      chainOrDie(n, 1, p.dir, p.bound),
+			Steps:      steps,
+			Texec:      stdTexec,
+			Bytes:      p.bytes,
+			Injections: []noise.Injection{injection(5, 1, sim.Time(4.5)*stdTexec)},
+		}
+		res, err := bulkRun(m, b, nil)
+		if err != nil {
+			return nil, err
+		}
+		proto := "eager"
+		rendezvous := p.bytes > m.EagerLimit
+		if rendezvous {
+			proto = "rendezvous"
+		}
+		// A wave that propagates only forward (eager unidirectional) must
+		// be tracked with directed hop distance; symmetric waves with
+		// minimal ring distance.
+		forwardOnly := !rendezvous && p.dir == topology.Unidirectional
+		var f wave.Front
+		if forwardOnly && p.bound == topology.Periodic {
+			f = wave.TrackFrontForward(res.Traces, 5, waveThreshold())
+		} else {
+			f = wave.TrackFront(res.Traces, 5, p.bound == topology.Periodic, waveThreshold())
+		}
+		speed := 0.0
+		if sp, err := wave.Speed(f); err == nil {
+			speed = sp.RanksPerSecond
+		}
+		sigma := wave.Sigma(p.dir == topology.Bidirectional, rendezvous)
+		pred := wave.SilentSpeed(sigma, 1, stdTexec, commTime(m, p.bytes))
+		quiet := wave.QuietStep(res.Traces, waveThreshold())
+		backward := detectBackward(f, 5, n, p.bound)
+		rep.addf("panel (%s): %s %s %s: speed %.0f ranks/s (Eq.2: %.0f), quiet from step %d, backward=%v",
+			p.id, proto, p.dir, p.bound, speed, pred, quiet, backward)
+		rep.Data = append(rep.Data, []string{p.id, proto, p.dir.String(), p.bound.String(),
+			fmt.Sprintf("%.1f", speed), fmt.Sprintf("%.1f", pred),
+			fmt.Sprintf("%.3f", wave.RelativeError(speed, pred)),
+			fmt.Sprint(quiet), fmt.Sprint(backward)})
+	}
+	rep.finding("eager waves travel only forward for unidirectional patterns; rendezvous waves travel both ways; bidirectional rendezvous doubles the speed (sigma=2)")
+	rep.finding("periodic boundaries let waves wrap and cancel; open boundaries let them run out")
+	return rep, nil
+}
+
+// runFig6 reproduces the wave-interaction experiment: 100 ranks on 10
+// sockets, bidirectional eager communication on a ring, one delay
+// injected on the sixth process of every socket: (a) all equal, (b) half
+// duration on odd sockets, (c) random durations.
+func runFig6(opts Options) (*Report, error) {
+	rep := &Report{}
+	m := cluster.Emmy()
+	ranks, steps := 100, 20
+	socketSize := m.CoresPerSocket
+	if opts.Quick {
+		ranks, steps = 50, 14
+	}
+	base := 5 * stdTexec
+	r := rng.New(opts.Seed + 6)
+
+	variants := []struct {
+		id    string
+		durFn func(socket int) sim.Time
+	}{
+		{"equal", func(int) sim.Time { return base }},
+		{"half", func(s int) sim.Time {
+			if s%2 == 1 {
+				return base / 2
+			}
+			return base
+		}},
+		{"random", func(int) sim.Time { return sim.Time(1+r.Float64()*5) * stdTexec }},
+	}
+	rep.Data = [][]string{{"variant", "quiet_step", "peak_waves", "total_idle_s", "max_idle_step_s"}}
+	for _, v := range variants {
+		var injs []noise.Injection
+		maxDelay := sim.Time(0)
+		for s := 0; s*socketSize+5 < ranks; s++ {
+			d := v.durFn(s)
+			if d > maxDelay {
+				maxDelay = d
+			}
+			injs = append(injs, injection(s*socketSize+5, 1, d))
+		}
+		b := workload.BulkSync{
+			Chain:      chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
+			Steps:      steps,
+			Texec:      stdTexec,
+			Bytes:      smallMsgBytes,
+			Injections: injs,
+		}
+		// The paper runs this on 10 processes per socket; intra-node
+		// communication differences are "of no significance here", so the
+		// flat network keeps the experiment controlled.
+		res, err := bulkRun(m, b, nil)
+		if err != nil {
+			return nil, err
+		}
+		idle := wave.TotalIdleByStep(res.Traces)
+		peak := 0
+		for s := range idle {
+			if c := wave.WaveCount(res.Traces, s, true, waveThreshold()); c > peak {
+				peak = c
+			}
+		}
+		quiet := wave.QuietStep(res.Traces, waveThreshold())
+		var total, maxStep sim.Time
+		for _, v := range idle {
+			total += v
+			if v > maxStep {
+				maxStep = v
+			}
+		}
+		rep.addf("%-6s: peak simultaneous waves %d, quiet from step %d, total idle %s",
+			v.id, peak, quiet, viz.FormatTime(total))
+		rep.addf("        idle/step: %s", viz.Sparkline(timesToFloats(idle)))
+		rep.Data = append(rep.Data, []string{v.id, fmt.Sprint(quiet), fmt.Sprint(peak),
+			fmt.Sprintf("%.4f", float64(total)), fmt.Sprintf("%.4f", float64(maxStep))})
+		switch v.id {
+		case "equal":
+			rep.finding("equal delays: all waves cancel pairwise after ~%d steps (paper: after five hops)", quiet-1)
+		case "random":
+			rep.finding("random delays: the strongest waves outlive the rest (quiet step %d vs %s for equal)",
+				quiet, "earlier")
+		}
+	}
+	return rep, nil
+}
+
+// runFig7 reproduces the d=2 speed measurement: rendezvous next-to-next
+// neighbor communication, unidirectional vs bidirectional.
+func runFig7(opts Options) (*Report, error) {
+	rep := &Report{}
+	m := cluster.Emmy()
+	n, steps := 18, 16
+	rep.Data = [][]string{{"direction", "speed_ranks_per_s", "eq2_ranks_per_s", "rel_err"}}
+	speeds := map[topology.Direction]float64{}
+	for _, dir := range []topology.Direction{topology.Unidirectional, topology.Bidirectional} {
+		b := workload.BulkSync{
+			Chain:      chainOrDie(n, 2, dir, topology.Open),
+			Steps:      steps,
+			Texec:      stdTexec,
+			Bytes:      largeMsgBytes,
+			Injections: []noise.Injection{injection(8, 1, sim.Time(4.5)*stdTexec)},
+		}
+		res, err := bulkRun(m, b, nil)
+		if err != nil {
+			return nil, err
+		}
+		f := wave.TrackFront(res.Traces, 8, false, waveThreshold())
+		sp, err := wave.Speed(f)
+		if err != nil {
+			return nil, err
+		}
+		sigma := wave.Sigma(dir == topology.Bidirectional, true)
+		pred := wave.SilentSpeed(sigma, 2, stdTexec, commTime(m, largeMsgBytes))
+		speeds[dir] = sp.RanksPerSecond
+		rep.addf("%-14s d=2 rendezvous: %.0f ranks/s (Eq.2: %.0f)", dir, sp.RanksPerSecond, pred)
+		rep.Data = append(rep.Data, []string{dir.String(),
+			fmt.Sprintf("%.1f", sp.RanksPerSecond), fmt.Sprintf("%.1f", pred),
+			fmt.Sprintf("%.3f", wave.RelativeError(sp.RanksPerSecond, pred))})
+	}
+	ratio := speeds[topology.Bidirectional] / speeds[topology.Unidirectional]
+	rep.finding("bidirectional/unidirectional speed ratio = %.2f (paper: 2.0)", ratio)
+	return rep, nil
+}
+
+// detectBackward reports whether the idle wave reached the rank just
+// below the source by genuinely travelling backward (against the send
+// direction) rather than by wrapping all the way around a ring. For open
+// chains any affected rank below the source suffices; for rings, the
+// source's lower neighbor must have been hit no later than the rank half
+// way around in the forward direction.
+func detectBackward(f wave.Front, source, n int, bound topology.Boundary) bool {
+	arrival := make(map[int]sim.Time, len(f.Samples))
+	for _, s := range f.Samples {
+		arrival[s.Rank] = s.Arrival
+	}
+	if bound == topology.Open {
+		for r := range arrival {
+			if r < source {
+				return true
+			}
+		}
+		return false
+	}
+	below := ((source-1)%n + n) % n
+	halfway := (source + n/2) % n
+	tBelow, okB := arrival[below]
+	tHalf, okH := arrival[halfway]
+	if !okB {
+		return false
+	}
+	if !okH {
+		return true
+	}
+	return tBelow <= tHalf
+}
+
+func timesToFloats(ts []sim.Time) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = float64(t)
+	}
+	return out
+}

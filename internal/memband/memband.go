@@ -1,0 +1,192 @@
+// Package memband models the shared memory-bandwidth bottleneck of a
+// multicore socket as a processor-sharing resource.
+//
+// A memory-bound execution phase (e.g., one STREAM-triad or LBM sweep)
+// must move a fixed volume of data through its socket's memory interface.
+// While k phases are active on the same socket, each progresses at rate
+// B/k, where B is the socket bandwidth. When phases start or finish, the
+// rates of all concurrent phases change, and their completion times are
+// re-integrated.
+//
+// This is the mechanism behind the paper's motivating observation (Fig. 1):
+// when ranks desynchronize, fewer phases overlap on the socket at any
+// moment, each phase runs faster, and computation automatically overlaps
+// with the waiting of other ranks — noise acting as an accelerator.
+package memband
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Phase is one active memory-bound execution phase on a socket.
+type Phase struct {
+	remaining float64 // bytes still to transfer
+	onDone    func()
+	socket    *Socket
+	done      bool
+}
+
+// Socket is the processor-sharing bandwidth resource of one socket.
+type Socket struct {
+	engine    *sim.Engine
+	bandwidth float64 // bytes per second, aggregate
+	phaseCap  float64 // per-phase bandwidth ceiling; 0 = none
+	active    map[*Phase]struct{}
+	lastT     sim.Time   // virtual time of the last re-integration
+	next      *sim.Event // pending earliest-completion event
+}
+
+// NewSocket creates a socket resource with the given aggregate memory
+// bandwidth in bytes per second.
+func NewSocket(engine *sim.Engine, bandwidth float64) (*Socket, error) {
+	return NewSocketCapped(engine, bandwidth, 0)
+}
+
+// NewSocketCapped creates a socket whose individual phases are
+// additionally limited to perPhaseCap bytes per second (0 = unlimited).
+// The cap models the fact that a single core cannot saturate the socket's
+// memory interface: the paper's Fig. 1c (one process per node) runs at
+// roughly 1/6 of the saturated bandwidth.
+func NewSocketCapped(engine *sim.Engine, bandwidth, perPhaseCap float64) (*Socket, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("memband: nil engine")
+	}
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("memband: non-positive bandwidth %g", bandwidth)
+	}
+	if perPhaseCap < 0 {
+		return nil, fmt.Errorf("memband: negative per-phase cap %g", perPhaseCap)
+	}
+	return &Socket{
+		engine:    engine,
+		bandwidth: bandwidth,
+		phaseCap:  perPhaseCap,
+		active:    make(map[*Phase]struct{}),
+	}, nil
+}
+
+// rate returns the per-phase progress rate with k concurrent phases.
+func (s *Socket) rate(k int) float64 {
+	r := s.bandwidth / float64(k)
+	if s.phaseCap > 0 && r > s.phaseCap {
+		r = s.phaseCap
+	}
+	return r
+}
+
+// Active returns the number of phases currently sharing the socket.
+func (s *Socket) Active() int { return len(s.active) }
+
+// Start begins a memory-bound phase that must move the given number of
+// bytes. onDone runs (as a simulation event) when the phase completes.
+// A non-positive volume completes immediately at the current time.
+func (s *Socket) Start(bytes float64, onDone func()) *Phase {
+	if onDone == nil {
+		panic("memband: Start with nil onDone")
+	}
+	p := &Phase{remaining: bytes, onDone: onDone, socket: s}
+	if bytes <= 0 {
+		p.done = true
+		s.engine.After(0, onDone)
+		return p
+	}
+	s.integrate()
+	s.active[p] = struct{}{}
+	s.reschedule()
+	return p
+}
+
+// integrate advances all active phases' remaining work from lastT to now
+// at the current shared rate.
+func (s *Socket) integrate() {
+	now := s.engine.Now()
+	if k := len(s.active); k > 0 {
+		dt := float64(now - s.lastT)
+		if dt > 0 {
+			rate := s.rate(k)
+			for p := range s.active {
+				p.remaining -= rate * dt
+				if p.remaining < 0 {
+					p.remaining = 0
+				}
+			}
+		}
+	}
+	s.lastT = now
+}
+
+// reschedule cancels the pending completion event and schedules a new one
+// for the phase that will finish first under the current sharing factor.
+func (s *Socket) reschedule() {
+	if s.next != nil {
+		s.engine.Cancel(s.next)
+		s.next = nil
+	}
+	k := len(s.active)
+	if k == 0 {
+		return
+	}
+	var first *Phase
+	for p := range s.active {
+		if first == nil || p.remaining < first.remaining {
+			first = p
+		} else if p.remaining == first.remaining {
+			// Deterministic tie-break not needed for correctness: equal
+			// remaining volumes finish at the same virtual time and each
+			// gets its own completion pass.
+			continue
+		}
+	}
+	perPhaseRate := s.rate(k)
+	dt := sim.Time(first.remaining / perPhaseRate)
+	s.next = s.engine.After(dt, s.complete)
+}
+
+// complete fires when the earliest phase(s) reach zero remaining work.
+func (s *Socket) complete() {
+	s.next = nil
+	s.integrate()
+	// A phase is done when its remaining volume is zero up to float
+	// roundoff. The threshold must scale with the clock's resolution:
+	// once now+dt == now in float64, the event loop could no longer
+	// advance virtual time, so any phase whose remaining time is below
+	// that resolution has to finish now.
+	resolution := float64(s.lastT)*1e-12 + 1e-15 // seconds
+	eps := s.rate(1) * resolution                // bytes, at the fastest possible rate
+	if eps < 1e-12 {
+		eps = 1e-12
+	}
+	var finished []*Phase
+	for p := range s.active {
+		if p.remaining <= eps {
+			finished = append(finished, p)
+		}
+	}
+	for _, p := range finished {
+		delete(s.active, p)
+		p.done = true
+	}
+	s.reschedule()
+	// Run callbacks after bookkeeping so a callback that starts a new
+	// phase sees a consistent resource state.
+	for _, p := range finished {
+		p.onDone()
+	}
+}
+
+// Done reports whether the phase has completed.
+func (p *Phase) Done() bool { return p.done }
+
+// SoloTime returns how long a phase moving the given volume would take
+// with the socket to itself — the lower bound used by analytic models.
+func (s *Socket) SoloTime(bytes float64) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	return sim.Time(bytes / s.bandwidth)
+}
+
+// Bandwidth returns the socket's aggregate bandwidth in bytes per second.
+func (s *Socket) Bandwidth() float64 { return s.bandwidth }

@@ -1,0 +1,720 @@
+// Package mpisim simulates MPI-like message-passing programs at the level
+// of detail needed to study idle-wave propagation: non-blocking
+// Isend/Irecv/Waitall point-to-point communication with eager and
+// rendezvous protocols, injected delays, fine-grained noise, and optional
+// shared-memory-bandwidth execution phases.
+//
+// Each rank runs a Program — a flat list of operations — on top of a
+// discrete-event engine. The simulator records a full trace (execution,
+// delay, noise, wait and overhead segments plus per-step completion times)
+// for every rank; the analytics in internal/wave consume those traces.
+//
+// # Protocol semantics
+//
+// Eager messages (size at or below the cost model's eager limit) are
+// buffered: the send request completes locally at post time plus send
+// overhead, and the data arrives at the receiver one transfer time later,
+// whether or not a receive is posted. Ranks "upstream" of a delayed rank
+// are therefore unaffected by it (Fig. 4 of the paper).
+//
+// Rendezvous messages require a handshake: the transfer cannot start
+// before the matching receive is posted, and the send request only
+// completes when the transfer does. Under the default GatedRendezvous
+// progress mode, a rank's rendezvous transfers additionally all start
+// together, once the *last* of its rendezvous sends has been matched —
+// modelling a progress engine that spins on an outstanding handshake.
+// This reproduces the paper's observation that bidirectional
+// rendezvous-mode idle waves travel twice as fast (σ=2 in Eq. 2): a
+// neighbor of the delayed process withholds its transfers to its other
+// neighbors too, so the wave reaches two neighbor shells per period.
+// IndependentRendezvous starts each transfer as soon as its own match
+// exists, which removes the doubling (ablation).
+package mpisim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/memband"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ProgressMode selects how rendezvous transfers begin.
+type ProgressMode int
+
+const (
+	// GatedRendezvous holds all of a rank's rendezvous transfers until
+	// every rendezvous send of the current Waitall epoch is matched.
+	GatedRendezvous ProgressMode = iota
+	// IndependentRendezvous starts each transfer as soon as its own
+	// receive is posted and the sender has entered Waitall.
+	IndependentRendezvous
+)
+
+func (m ProgressMode) String() string {
+	switch m {
+	case GatedRendezvous:
+		return "gated"
+	case IndependentRendezvous:
+		return "independent"
+	default:
+		return fmt.Sprintf("ProgressMode(%d)", int(m))
+	}
+}
+
+// Op is one operation in a rank's program.
+type Op interface{ isOp() }
+
+// Compute is an execution phase. If MemBytes is positive and the
+// simulation has socket bandwidth configured, the phase is memory-bound:
+// its duration is MemBytes divided by the rank's share of its socket's
+// bandwidth (plus Duration, which then acts as a fixed compute floor).
+// Otherwise the phase takes exactly Duration. Step tags the phase for
+// noise injection and tracing.
+type Compute struct {
+	Duration sim.Time
+	MemBytes float64
+	Step     int
+}
+
+// Delay is a deliberately injected one-off execution delay (the paper's
+// "strong delay" that triggers an idle wave).
+type Delay struct {
+	Duration sim.Time
+	Step     int
+}
+
+// Isend posts a non-blocking send of Bytes to rank To with the given Tag.
+type Isend struct {
+	To    int
+	Bytes int
+	Tag   int
+}
+
+// Irecv posts a non-blocking receive from rank From with the given Tag.
+type Irecv struct {
+	From  int
+	Bytes int
+	Tag   int
+}
+
+// Waitall blocks until every request posted since the previous Waitall has
+// completed. Step tags the completed time step in the trace.
+type Waitall struct {
+	Step int
+}
+
+func (Compute) isOp() {}
+func (Delay) isOp()   {}
+func (Isend) isOp()   {}
+func (Irecv) isOp()   {}
+func (Waitall) isOp() {}
+
+// Program is the operation list executed by one rank.
+type Program []Op
+
+// NoiseFunc returns extra execution time injected into the given rank's
+// execution phase of the given step (fine-grained noise, Eq. 3).
+type NoiseFunc func(rank, step int) sim.Time
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Ranks is the number of MPI-like processes.
+	Ranks int
+	// Net is the communication cost model (required).
+	Net netmodel.Model
+	// Progress selects the rendezvous progress semantics.
+	Progress ProgressMode
+	// Noise, if non-nil, injects extra time into every Compute phase.
+	Noise NoiseFunc
+	// SocketOf maps a rank to a socket index for memory-bandwidth
+	// sharing. Required if any Compute op uses MemBytes.
+	SocketOf func(rank int) int
+	// SocketBandwidth is each socket's aggregate memory bandwidth in
+	// bytes per second. Required if any Compute op uses MemBytes.
+	SocketBandwidth float64
+	// CoreBandwidth limits a single phase's share of the socket
+	// bandwidth (a lone core cannot saturate the memory interface).
+	// Zero means no per-core limit.
+	CoreBandwidth float64
+	// EagerMaxOutstanding bounds the number of eager messages in flight
+	// (sent but not yet matched) per sender-receiver pair; further sends
+	// fall back to the rendezvous protocol, modelling finite eager
+	// buffers. Zero means unlimited.
+	EagerMaxOutstanding int
+	// ChargeCommBandwidth, when sockets are configured, makes message
+	// payloads consume memory bandwidth on the sender's and receiver's
+	// sockets (DMA traffic competing with the application's streaming
+	// accesses). The paper's Eq. 1 model ignores this cost, which is one
+	// reason it is optimistic for communication-heavy runs (Fig. 1).
+	ChargeCommBandwidth bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Traces trace.Set
+	End    sim.Time
+	Events uint64
+}
+
+type rankState int
+
+const (
+	stRunning rankState = iota
+	stComputing
+	stWaiting
+	stDone
+)
+
+// request is one posted non-blocking operation.
+type request struct {
+	owner  *rank
+	isSend bool
+	peer   int
+	bytes  int
+	tag    int
+	proto  netmodel.Protocol
+	postAt sim.Time
+
+	done   bool
+	doneAt sim.Time
+
+	// rendezvous state
+	match           *request // linked counterpart once matched
+	transferStarted bool
+}
+
+// eagerMsg is a buffered eager message in flight or waiting unmatched at
+// the receiver.
+type eagerMsg struct {
+	from, to, tag, bytes int
+	arriveAt             sim.Time
+	arrived              bool
+}
+
+// matcher is the per-rank message-matching engine (posted receives and
+// unexpected-message queues), FIFO per (source, tag) as in MPI.
+type matcher struct {
+	postedRecvs []*request
+	unexpEager  []*eagerMsg
+	unexpRTS    []*request // rendezvous sends awaiting a matching recv
+}
+
+type rank struct {
+	id   int
+	s    *simulation
+	prog Program
+	pc   int
+
+	state   rankState
+	pending []*request // requests posted since the last Waitall
+
+	// Waitall bookkeeping
+	waitStep      int
+	waitEntry     sim.Time
+	gateRemaining int // unmatched rendezvous sends in this epoch
+
+	rec *trace.Recorder
+}
+
+type simulation struct {
+	cfg     Config
+	engine  *sim.Engine
+	ranks   []*rank
+	match   []*matcher
+	sockets map[int]*memband.Socket
+	// outstanding eager messages per (from,to) pair, for the finite
+	// eager-buffer option.
+	eagerInFlight map[[2]int]int
+}
+
+// Run simulates the programs and returns the trace set. It validates the
+// configuration and programs, and reports a deadlock error if any rank is
+// still blocked when no events remain.
+func Run(cfg Config, programs []Program) (*Result, error) {
+	if err := validate(cfg, programs); err != nil {
+		return nil, err
+	}
+	s := &simulation{
+		cfg:           cfg,
+		engine:        &sim.Engine{},
+		sockets:       make(map[int]*memband.Socket),
+		eagerInFlight: make(map[[2]int]int),
+	}
+	for i := 0; i < cfg.Ranks; i++ {
+		s.match = append(s.match, &matcher{})
+		r := &rank{id: i, s: s, prog: programs[i], rec: trace.NewRecorder(i)}
+		s.ranks = append(s.ranks, r)
+	}
+	for _, r := range s.ranks {
+		r := r
+		s.engine.Schedule(0, r.exec)
+	}
+	end := s.engine.Run()
+
+	var stuck []string
+	for _, r := range s.ranks {
+		if r.state != stDone {
+			stuck = append(stuck, fmt.Sprintf("rank %d (%v at pc %d)", r.id, r.state, r.pc))
+		}
+	}
+	if len(stuck) > 0 {
+		return nil, fmt.Errorf("mpisim: deadlock, %d rank(s) blocked: %s",
+			len(stuck), strings.Join(stuck, "; "))
+	}
+
+	traces := make([]trace.RankTrace, 0, len(s.ranks))
+	for _, r := range s.ranks {
+		traces = append(traces, r.rec.Trace())
+	}
+	return &Result{Traces: trace.NewSet(traces), End: end, Events: s.engine.Executed()}, nil
+}
+
+func validate(cfg Config, programs []Program) error {
+	if cfg.Ranks <= 0 {
+		return fmt.Errorf("mpisim: need positive rank count, got %d", cfg.Ranks)
+	}
+	if cfg.Net == nil {
+		return fmt.Errorf("mpisim: nil network model")
+	}
+	if len(programs) != cfg.Ranks {
+		return fmt.Errorf("mpisim: %d programs for %d ranks", len(programs), cfg.Ranks)
+	}
+	if cfg.EagerMaxOutstanding < 0 {
+		return fmt.Errorf("mpisim: negative eager buffer bound %d", cfg.EagerMaxOutstanding)
+	}
+	if cfg.CoreBandwidth < 0 {
+		return fmt.Errorf("mpisim: negative core bandwidth %g", cfg.CoreBandwidth)
+	}
+	needMem := false
+	for rnk, p := range programs {
+		for pc, op := range p {
+			switch op := op.(type) {
+			case Isend:
+				if op.To < 0 || op.To >= cfg.Ranks {
+					return fmt.Errorf("mpisim: rank %d op %d sends to invalid rank %d", rnk, pc, op.To)
+				}
+				if op.To == rnk {
+					return fmt.Errorf("mpisim: rank %d op %d sends to itself", rnk, pc)
+				}
+				if op.Bytes < 0 {
+					return fmt.Errorf("mpisim: rank %d op %d negative message size", rnk, pc)
+				}
+			case Irecv:
+				if op.From < 0 || op.From >= cfg.Ranks {
+					return fmt.Errorf("mpisim: rank %d op %d receives from invalid rank %d", rnk, pc, op.From)
+				}
+				if op.From == rnk {
+					return fmt.Errorf("mpisim: rank %d op %d receives from itself", rnk, pc)
+				}
+			case Compute:
+				if op.Duration < 0 || op.MemBytes < 0 {
+					return fmt.Errorf("mpisim: rank %d op %d negative compute", rnk, pc)
+				}
+				if op.MemBytes > 0 {
+					needMem = true
+				}
+			case Delay:
+				if op.Duration < 0 {
+					return fmt.Errorf("mpisim: rank %d op %d negative delay", rnk, pc)
+				}
+			}
+		}
+	}
+	if needMem {
+		if cfg.SocketOf == nil {
+			return fmt.Errorf("mpisim: memory-bound compute requires SocketOf")
+		}
+		if cfg.SocketBandwidth <= 0 {
+			return fmt.Errorf("mpisim: memory-bound compute requires positive SocketBandwidth")
+		}
+	}
+	return nil
+}
+
+func (s *simulation) socket(id int) *memband.Socket {
+	if sk, ok := s.sockets[id]; ok {
+		return sk
+	}
+	sk, err := memband.NewSocketCapped(s.engine, s.cfg.SocketBandwidth, s.cfg.CoreBandwidth)
+	if err != nil {
+		panic(err) // validated in Run
+	}
+	s.sockets[id] = sk
+	return sk
+}
+
+// exec advances the rank's program until it blocks or finishes.
+func (r *rank) exec() {
+	s := r.s
+	for r.pc < len(r.prog) {
+		switch op := r.prog[r.pc].(type) {
+		case Compute:
+			r.pc++
+			r.startCompute(op)
+			return
+		case Delay:
+			r.pc++
+			start := s.engine.Now()
+			end := start + op.Duration
+			r.state = stComputing
+			s.engine.Schedule(end, func() {
+				r.rec.Add(trace.Delay, start, end, op.Step)
+				r.state = stRunning
+				r.exec()
+			})
+			return
+		case Isend:
+			r.pc++
+			if cost := r.postSend(op); cost > 0 {
+				start := s.engine.Now()
+				s.engine.Schedule(start+cost, func() {
+					r.rec.Add(trace.Overhead, start, start+cost, -1)
+					r.exec()
+				})
+				return
+			}
+		case Irecv:
+			r.pc++
+			r.postRecv(op)
+		case Waitall:
+			r.pc++
+			r.enterWait(op)
+			return
+		default:
+			panic(fmt.Sprintf("mpisim: rank %d: unknown op %T", r.id, op))
+		}
+	}
+	r.state = stDone
+}
+
+// startCompute runs an execution phase: fixed-duration, memory-bound, or
+// both, plus injected noise.
+func (r *rank) startCompute(op Compute) {
+	s := r.s
+	start := s.engine.Now()
+	r.state = stComputing
+
+	finish := func() {
+		execEnd := s.engine.Now()
+		r.rec.Add(trace.Exec, start, execEnd, op.Step)
+		var noise sim.Time
+		if s.cfg.Noise != nil {
+			noise = s.cfg.Noise(r.id, op.Step)
+			if noise < 0 {
+				noise = 0
+			}
+		}
+		if noise > 0 {
+			s.engine.Schedule(execEnd+noise, func() {
+				r.rec.Add(trace.Noise, execEnd, execEnd+noise, op.Step)
+				r.state = stRunning
+				r.exec()
+			})
+			return
+		}
+		r.state = stRunning
+		r.exec()
+	}
+
+	if op.MemBytes > 0 {
+		sk := s.socket(s.cfg.SocketOf(r.id))
+		sk.Start(op.MemBytes, func() {
+			if op.Duration > 0 {
+				s.engine.After(op.Duration, finish)
+				return
+			}
+			finish()
+		})
+		return
+	}
+	s.engine.Schedule(start+op.Duration, finish)
+}
+
+// postSend posts a non-blocking send and returns the CPU overhead the
+// sender pays before executing its next operation.
+func (r *rank) postSend(op Isend) sim.Time {
+	s := r.s
+	now := s.engine.Now()
+	proto := s.cfg.Net.ProtocolFor(r.id, op.To, op.Bytes)
+	pair := [2]int{r.id, op.To}
+	if proto == netmodel.Eager && s.cfg.EagerMaxOutstanding > 0 &&
+		s.eagerInFlight[pair] >= s.cfg.EagerMaxOutstanding {
+		// Finite eager buffers exhausted: this message behaves like a
+		// rendezvous transfer (the paper's footnote 1).
+		proto = netmodel.Rendezvous
+	}
+	req := &request{
+		owner:  r,
+		isSend: true,
+		peer:   op.To,
+		bytes:  op.Bytes,
+		tag:    op.Tag,
+		proto:  proto,
+		postAt: now,
+	}
+	r.pending = append(r.pending, req)
+	oSend := s.cfg.Net.SendOverhead(r.id, op.To, op.Bytes)
+
+	if proto == netmodel.Eager {
+		s.eagerInFlight[pair]++
+		// The send completes locally once the overhead is paid.
+		s.complete(req, now+oSend)
+		// Data arrives at the receiver one transfer later.
+		msg := &eagerMsg{from: r.id, to: op.To, tag: op.Tag, bytes: op.Bytes,
+			arriveAt: now + oSend + s.cfg.Net.Transfer(r.id, op.To, op.Bytes)}
+		s.chargeComm(r.id, op.To, op.Bytes)
+		s.engine.Schedule(msg.arriveAt, func() { s.deliverEager(msg) })
+		return oSend
+	}
+
+	// Rendezvous: announce the send to the receiver's matcher (RTS).
+	s.matchRTS(req)
+	return oSend
+}
+
+// postRecv posts a non-blocking receive.
+func (r *rank) postRecv(op Irecv) {
+	s := r.s
+	req := &request{
+		owner:  r,
+		peer:   op.From,
+		bytes:  op.Bytes,
+		tag:    op.Tag,
+		postAt: s.engine.Now(),
+	}
+	r.pending = append(r.pending, req)
+	m := s.match[r.id]
+
+	// Unexpected eager message already here?
+	for i, msg := range m.unexpEager {
+		if msg.from == op.From && msg.tag == op.Tag {
+			m.unexpEager = append(m.unexpEager[:i], m.unexpEager[i+1:]...)
+			s.eagerInFlight[[2]int{msg.from, msg.to}]--
+			oRecv := s.cfg.Net.RecvOverhead(op.From, r.id, op.Bytes)
+			s.complete(req, s.engine.Now()+oRecv)
+			return
+		}
+	}
+	// Pending rendezvous handshake?
+	for i, send := range m.unexpRTS {
+		if send.owner.id == op.From && send.tag == op.Tag {
+			m.unexpRTS = append(m.unexpRTS[:i], m.unexpRTS[i+1:]...)
+			s.link(send, req)
+			return
+		}
+	}
+	m.postedRecvs = append(m.postedRecvs, req)
+}
+
+// deliverEager runs at an eager message's arrival time at the receiver.
+func (s *simulation) deliverEager(msg *eagerMsg) {
+	msg.arrived = true
+	m := s.match[msg.to]
+	for i, recv := range m.postedRecvs {
+		if recv.peer == msg.from && recv.tag == msg.tag {
+			m.postedRecvs = append(m.postedRecvs[:i], m.postedRecvs[i+1:]...)
+			s.eagerInFlight[[2]int{msg.from, msg.to}]--
+			oRecv := s.cfg.Net.RecvOverhead(msg.from, msg.to, msg.bytes)
+			s.complete(recv, s.engine.Now()+oRecv)
+			return
+		}
+	}
+	m.unexpEager = append(m.unexpEager, msg)
+}
+
+// matchRTS tries to match a freshly posted rendezvous send against the
+// receiver's posted receives; otherwise it queues the handshake.
+func (s *simulation) matchRTS(send *request) {
+	m := s.match[send.peer]
+	for i, recv := range m.postedRecvs {
+		if recv.peer == send.owner.id && recv.tag == send.tag {
+			m.postedRecvs = append(m.postedRecvs[:i], m.postedRecvs[i+1:]...)
+			s.link(send, recv)
+			return
+		}
+	}
+	m.unexpRTS = append(m.unexpRTS, send)
+}
+
+// link connects a rendezvous send to its matching receive and updates the
+// sender's gate.
+func (s *simulation) link(send, recv *request) {
+	send.match = recv
+	recv.match = send
+	owner := send.owner
+	switch s.cfg.Progress {
+	case GatedRendezvous:
+		if owner.state == stWaiting {
+			owner.gateRemaining--
+			if owner.gateRemaining == 0 {
+				owner.startRendezvousTransfers()
+			}
+		}
+		// If the owner has not entered Waitall yet, enterWait will count
+		// unmatched sends and open the gate itself.
+	case IndependentRendezvous:
+		if owner.state == stWaiting {
+			s.startTransfer(send)
+		}
+	}
+}
+
+// startRendezvousTransfers begins every matched, unstarted rendezvous
+// transfer of the rank's current epoch (gate open).
+func (r *rank) startRendezvousTransfers() {
+	for _, req := range r.pending {
+		if req.isSend && req.proto == netmodel.Rendezvous && req.match != nil && !req.transferStarted {
+			r.s.startTransfer(req)
+		}
+	}
+}
+
+// startTransfer schedules the wire transfer of a matched rendezvous send,
+// completing both sides.
+func (s *simulation) startTransfer(send *request) {
+	if send.transferStarted {
+		return
+	}
+	send.transferStarted = true
+	now := s.engine.Now()
+	s.chargeComm(send.owner.id, send.peer, send.bytes)
+	end := now + s.cfg.Net.Transfer(send.owner.id, send.peer, send.bytes)
+	oRecv := s.cfg.Net.RecvOverhead(send.owner.id, send.peer, send.bytes)
+	s.complete(send, end)
+	s.complete(send.match, end+oRecv)
+}
+
+// chargeComm accounts a message's payload as memory traffic on the
+// sender's (read) and receiver's (write) sockets. The load phases are
+// fire-and-forget: they steal bandwidth from concurrent execution phases
+// but never block communication progress.
+func (s *simulation) chargeComm(from, to, bytes int) {
+	if !s.cfg.ChargeCommBandwidth || s.cfg.SocketOf == nil || s.cfg.SocketBandwidth <= 0 || bytes <= 0 {
+		return
+	}
+	// The payload crosses the memory interface on both endpoints (read
+	// out on the sender, write in on the receiver) — also when the two
+	// ranks share a socket, where it is copied out and back in.
+	noop := func() {}
+	s.socket(s.cfg.SocketOf(from)).Start(float64(bytes), noop)
+	s.socket(s.cfg.SocketOf(to)).Start(float64(bytes), noop)
+}
+
+// complete marks a request done at the given time and, if its owner is
+// blocked in Waitall, schedules a progress check.
+func (s *simulation) complete(req *request, at sim.Time) {
+	if req.done {
+		panic(fmt.Sprintf("mpisim: double completion of request on rank %d", req.owner.id))
+	}
+	req.done = true
+	req.doneAt = at
+	owner := req.owner
+	s.engine.Schedule(at, func() {
+		if owner.state == stWaiting {
+			owner.progressWait()
+		}
+	})
+}
+
+// enterWait begins a Waitall over all pending requests.
+func (r *rank) enterWait(op Waitall) {
+	s := r.s
+	r.state = stWaiting
+	r.waitStep = op.Step
+	r.waitEntry = s.engine.Now()
+
+	if s.cfg.Progress == GatedRendezvous {
+		r.gateRemaining = 0
+		for _, req := range r.pending {
+			if req.isSend && req.proto == netmodel.Rendezvous && req.match == nil {
+				r.gateRemaining++
+			}
+		}
+		if r.gateRemaining == 0 {
+			r.startRendezvousTransfers()
+		}
+	} else {
+		for _, req := range r.pending {
+			if req.isSend && req.proto == netmodel.Rendezvous && req.match != nil {
+				s.startTransfer(req)
+			}
+		}
+	}
+	r.progressWait()
+}
+
+// progressWait checks whether every pending request has completed (as of
+// the current virtual time) and, if so, finishes the Waitall. It is
+// idempotent: completion events may trigger it multiple times.
+func (r *rank) progressWait() {
+	if r.state != stWaiting {
+		return
+	}
+	now := r.s.engine.Now()
+	var latest sim.Time
+	for _, req := range r.pending {
+		if !req.done {
+			return // a future completion event will re-invoke us
+		}
+		if req.doneAt > latest {
+			latest = req.doneAt
+		}
+	}
+	if latest > now {
+		// All completion times are known but lie in the future (e.g. a
+		// receive overhead tail); the event scheduled by complete() at
+		// that time re-invokes us.
+		return
+	}
+	r.rec.Add(trace.Wait, r.waitEntry, now, r.waitStep)
+	r.rec.EndStep(r.waitStep, now)
+	r.pending = r.pending[:0]
+	r.state = stRunning
+	r.exec()
+}
+
+func (st rankState) String() string {
+	switch st {
+	case stRunning:
+		return "running"
+	case stComputing:
+		return "computing"
+	case stWaiting:
+		return "waiting"
+	case stDone:
+		return "done"
+	default:
+		return fmt.Sprintf("rankState(%d)", int(st))
+	}
+}
+
+// StepDurations returns, for a silent homogeneous run, the expected
+// duration of one compute-communicate period given the per-step execution
+// time and the communication time of one message; a helper for tests and
+// analytic overlays.
+func StepDurations(texec, tcomm sim.Time) sim.Time { return texec + tcomm }
+
+// CountOps returns the number of operations of each concrete type in a
+// program, for diagnostics and tests.
+func CountOps(p Program) map[string]int {
+	counts := make(map[string]int)
+	for _, op := range p {
+		counts[fmt.Sprintf("%T", op)]++
+	}
+	return counts
+}
+
+// OpNames lists the distinct op type names present in a program, sorted.
+func OpNames(p Program) []string {
+	set := CountOps(p)
+	names := make([]string, 0, len(set))
+	for k := range set {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,180 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestHockneyTransfer(t *testing.T) {
+	h, err := NewHockney(sim.Micro(2), 1e9, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 1 GB/s = 1 ms, plus 2 us latency.
+	got := h.Transfer(0, 1, 1<<20)
+	want := sim.Micro(2) + sim.Time(float64(1<<20)/1e9)
+	if math.Abs(float64(got-want)) > 1e-15 {
+		t.Errorf("Transfer = %v, want %v", got, want)
+	}
+	if h.SendOverhead(0, 1, 100) != 0 || h.RecvOverhead(0, 1, 100) != 0 {
+		t.Error("Hockney should have zero overheads")
+	}
+}
+
+func TestHockneyProtocolSwitch(t *testing.T) {
+	h, _ := NewHockney(0, 1e9, 16384)
+	if p := h.ProtocolFor(0, 1, 16384); p != Eager {
+		t.Errorf("at limit: %v, want eager", p)
+	}
+	if p := h.ProtocolFor(0, 1, 16385); p != Rendezvous {
+		t.Errorf("above limit: %v, want rendezvous", p)
+	}
+	if p := h.ProtocolFor(0, 1, 0); p != Eager {
+		t.Errorf("zero bytes: %v, want eager", p)
+	}
+}
+
+func TestHockneyValidation(t *testing.T) {
+	if _, err := NewHockney(-1, 1e9, 0); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := NewHockney(0, 0, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := NewHockney(0, 1, -1); err == nil {
+		t.Error("negative eager limit accepted")
+	}
+}
+
+func TestLogGOPSCosts(t *testing.T) {
+	m, err := NewLogGOPS(sim.Micro(1), sim.Micro(0.5), sim.Micro(0.7), sim.Time(1e-9), sim.Time(2e-10), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := 1000
+	if got, want := m.Transfer(0, 1, bytes), sim.Micro(1)+sim.Time(1000*1e-9); math.Abs(float64(got-want)) > 1e-18 {
+		t.Errorf("Transfer = %v, want %v", got, want)
+	}
+	if got, want := m.SendOverhead(0, 1, bytes), sim.Micro(0.5)+sim.Time(1000*2e-10); math.Abs(float64(got-want)) > 1e-18 {
+		t.Errorf("SendOverhead = %v, want %v", got, want)
+	}
+	if got, want := m.RecvOverhead(0, 1, bytes), sim.Micro(0.7)+sim.Time(1000*2e-10); math.Abs(float64(got-want)) > 1e-18 {
+		t.Errorf("RecvOverhead = %v, want %v", got, want)
+	}
+}
+
+func TestLogGOPSValidation(t *testing.T) {
+	if _, err := NewLogGOPS(-1, 0, 0, 0, 0, 0); err == nil {
+		t.Error("negative L accepted")
+	}
+	if _, err := NewLogGOPS(0, 0, 0, 0, 0, -5); err == nil {
+		t.Error("negative eager limit accepted")
+	}
+}
+
+func TestHierarchicalSelection(t *testing.T) {
+	place, err := topology.NewPlacement(40, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, _ := NewHockney(sim.Micro(0.3), 10e9, 1<<20)
+	in, _ := NewHockney(sim.Micro(0.8), 6e9, 1<<20)
+	xn, _ := NewHockney(sim.Micro(2.0), 3e9, 1<<17)
+	h, err := NewHierarchical(place, is, in, xn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0 and 5 share socket 0.
+	if got := h.Transfer(0, 5, 0); got != sim.Micro(0.3) {
+		t.Errorf("intra-socket latency = %v, want 0.3us", got)
+	}
+	// Ranks 5 and 15 share node 0 but not a socket.
+	if got := h.Transfer(5, 15, 0); got != sim.Micro(0.8) {
+		t.Errorf("intra-node latency = %v, want 0.8us", got)
+	}
+	// Ranks 5 and 25 are on different nodes.
+	if got := h.Transfer(5, 25, 0); got != sim.Micro(2.0) {
+		t.Errorf("inter-node latency = %v, want 2us", got)
+	}
+	// Eager limit follows the selected layer too.
+	if p := h.ProtocolFor(0, 5, 1<<18); p != Eager {
+		t.Errorf("intra-socket 256K: %v, want eager (limit 1M)", p)
+	}
+	if p := h.ProtocolFor(5, 25, 1<<18); p != Rendezvous {
+		t.Errorf("inter-node 256K: %v, want rendezvous (limit 128K)", p)
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	place, _ := topology.NewPlacement(4, 2, 1)
+	m, _ := NewHockney(0, 1, 0)
+	if _, err := NewHierarchical(nil, m, m, m); err == nil {
+		t.Error("nil locator accepted")
+	}
+	if _, err := NewHierarchical(place, nil, m, m); err == nil {
+		t.Error("nil inner model accepted")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	m, _ := NewLogGOPS(sim.Micro(1), sim.Micro(2), sim.Micro(3), 0, 0, 0)
+	if got := PingPong(m, 0, 1, 0); got != sim.Micro(6) {
+		t.Errorf("PingPong = %v, want 6us", got)
+	}
+}
+
+// Property: transfer time is monotone non-decreasing in message size for
+// both model families.
+func TestTransferMonotoneProperty(t *testing.T) {
+	hock, _ := NewHockney(sim.Micro(1), 3e9, 1<<17)
+	lgp, _ := NewLogGOPS(sim.Micro(1), sim.Micro(0.2), sim.Micro(0.2), sim.Time(3e-10), sim.Time(1e-10), 1<<14)
+	models := []Model{hock, lgp}
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := int(aRaw%(1<<22)), int(bRaw%(1<<22))
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range models {
+			if m.Transfer(0, 1, a) > m.Transfer(0, 1, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: protocol is eager iff size <= limit, for any limit.
+func TestProtocolThresholdProperty(t *testing.T) {
+	f := func(limitRaw, sizeRaw uint32) bool {
+		limit := int(limitRaw % (1 << 20))
+		size := int(sizeRaw % (1 << 21))
+		h, err := NewHockney(0, 1e9, limit)
+		if err != nil {
+			return false
+		}
+		want := Eager
+		if size > limit {
+			want = Rendezvous
+		}
+		return h.ProtocolFor(0, 1, size) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if Eager.String() != "eager" || Rendezvous.String() != "rendezvous" {
+		t.Error("protocol strings wrong")
+	}
+	if Protocol(9).String() == "" {
+		t.Error("unknown protocol empty string")
+	}
+}

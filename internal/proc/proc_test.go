@@ -1,0 +1,250 @@
+package proc
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mpisim"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func net(t testing.TB) netmodel.Model {
+	t.Helper()
+	m, err := netmodel.NewHockney(sim.Micro(2), 3e9, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func cfgFor(t testing.TB, ranks int) mpisim.Config {
+	t.Helper()
+	return mpisim.Config{Ranks: ranks, Net: net(t)}
+}
+
+func TestRingProgramMatchesManualBuild(t *testing.T) {
+	const n, steps = 8, 10
+	res, err := Run(cfgFor(t, n), func(c *Comm) {
+		for s := 0; s < steps; s++ {
+			c.Compute(3 * time.Millisecond)
+			c.Isend((c.Rank()+1)%c.Size(), 8192)
+			c.Irecv((c.Rank()-1+c.Size())%c.Size(), 8192)
+			c.Waitall()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces.Steps() != steps {
+		t.Errorf("steps = %d, want %d", res.Traces.Steps(), steps)
+	}
+	// Silent ring: runtime ~ steps * (texec + tiny comm).
+	want := float64(steps) * 3e-3
+	if math.Abs(float64(res.End)-want) > 1e-3 {
+		t.Errorf("end = %v, want ~%g", res.End, want)
+	}
+}
+
+func TestDelayLaunchesWave(t *testing.T) {
+	const n = 10
+	res, err := Run(cfgFor(t, n), func(c *Comm) {
+		for s := 0; s < 8; s++ {
+			if c.Rank() == 4 && s == 1 {
+				c.Delay(12 * time.Millisecond)
+			}
+			c.Compute(3 * time.Millisecond)
+			if c.Rank()+1 < c.Size() {
+				c.Isend(c.Rank()+1, 8192)
+			}
+			if c.Rank() > 0 {
+				c.Irecv(c.Rank()-1, 8192)
+			}
+			c.Waitall()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downstream ranks idle, upstream ranks do not (eager).
+	if res.Traces.Ranks[6].TotalBy(trace.Wait) < sim.Milli(5) {
+		t.Error("downstream rank did not idle")
+	}
+	if res.Traces.Ranks[2].TotalBy(trace.Wait) > sim.Milli(1) {
+		t.Error("upstream rank idled under eager protocol")
+	}
+}
+
+func TestStepCounter(t *testing.T) {
+	_, err := Run(cfgFor(t, 2), func(c *Comm) {
+		if c.Step() != 0 {
+			t.Errorf("initial step = %d", c.Step())
+		}
+		c.Compute(time.Millisecond)
+		c.Waitall()
+		if c.Step() != 1 {
+			t.Errorf("step after Waitall = %d", c.Step())
+		}
+		c.Compute(time.Millisecond)
+		c.Waitall()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	// Rank 2 of 7 delays; after the barrier everyone must have passed
+	// the delay point, so all step-1 completions are >= the delay end.
+	const n = 7
+	delay := 20 * time.Millisecond
+	res, err := Run(cfgFor(t, n), func(c *Comm) {
+		if c.Rank() == 2 {
+			c.Delay(delay)
+		}
+		c.Compute(time.Millisecond)
+		c.Barrier()
+		c.EndStep()
+		c.Compute(time.Millisecond)
+		c.EndStep()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range res.Traces.Ranks {
+		if rt.StepEnd[0] < sim.Time(delay.Seconds()) {
+			t.Errorf("rank %d passed barrier at %v, before the delay ended", rt.Rank, rt.StepEnd[0])
+		}
+	}
+}
+
+func TestBarrierSingleRankIsNoop(t *testing.T) {
+	res, err := Run(cfgFor(t, 1), func(c *Comm) {
+		c.Compute(time.Millisecond)
+		c.Barrier()
+		c.EndStep()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.End); math.Abs(got-1e-3) > 1e-9 {
+		t.Errorf("single-rank barrier end = %v", got)
+	}
+}
+
+func TestAllreducePowerOfTwoAndRing(t *testing.T) {
+	for _, n := range []int{8, 6} { // recursive doubling and ring paths
+		res, err := Run(cfgFor(t, n), func(c *Comm) {
+			c.Compute(time.Millisecond)
+			c.Allreduce(1 << 20)
+			c.EndStep()
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// An allreduce synchronizes: all ranks end within a small window.
+		var lo, hi sim.Time = sim.Infinity, 0
+		for _, rt := range res.Traces.Ranks {
+			e := rt.StepEnd[0]
+			if e < lo {
+				lo = e
+			}
+			if e > hi {
+				hi = e
+			}
+		}
+		if hi-lo > sim.Milli(2) {
+			t.Errorf("n=%d: allreduce completion spread %v too wide", n, hi-lo)
+		}
+		if hi < sim.Milli(1) {
+			t.Errorf("n=%d: allreduce finished before compute", n)
+		}
+	}
+}
+
+func TestAllreduceTransportsDelayGlobally(t *testing.T) {
+	// A delay before an allreduce holds back every rank: the idle "wave"
+	// reaches all ranks within one step (collectives as delay amplifiers).
+	const n = 8
+	delay := 15 * time.Millisecond
+	res, err := Run(cfgFor(t, n), func(c *Comm) {
+		if c.Rank() == 3 {
+			c.Delay(delay)
+		}
+		c.Compute(time.Millisecond)
+		c.Allreduce(8192)
+		c.EndStep()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range res.Traces.Ranks {
+		if rt.StepEnd[0] < sim.Time(delay.Seconds()) {
+			t.Errorf("rank %d finished at %v, before the delayed rank released the allreduce", rt.Rank, rt.StepEnd[0])
+		}
+	}
+}
+
+func TestBcastReachesEveryone(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 9} {
+		for root := 0; root < n; root += n/2 + 1 {
+			res, err := Run(cfgFor(t, n), func(c *Comm) {
+				if c.Rank() == root {
+					c.Delay(10 * time.Millisecond) // root holds the data
+				}
+				c.Bcast(root, 1<<16)
+				c.EndStep()
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			// Nobody can finish before the root released the broadcast.
+			for _, rt := range res.Traces.Ranks {
+				if rt.StepEnd[0] < sim.Milli(10) {
+					t.Errorf("n=%d root=%d: rank %d finished at %v before root released",
+						n, root, rt.Rank, rt.StepEnd[0])
+				}
+			}
+		}
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	cases := []func(c *Comm){
+		func(c *Comm) { c.Compute(-time.Second) },
+		func(c *Comm) { c.Delay(-time.Second) },
+		func(c *Comm) { c.ComputeMem(-1) },
+		func(c *Comm) { c.Allreduce(-1) },
+		func(c *Comm) { c.Bcast(-1, 10) },
+		func(c *Comm) { c.Bcast(99, 10) },
+	}
+	for i, fn := range cases {
+		if _, err := Run(cfgFor(t, 4), fn); err == nil {
+			t.Errorf("case %d: error not propagated", i)
+		}
+	}
+	if _, err := Run(cfgFor(t, 2), nil); err == nil {
+		t.Error("nil rank function accepted")
+	}
+}
+
+func TestCollectivesDoNotCrossTalk(t *testing.T) {
+	// Two barriers back to back plus point-to-point traffic in between:
+	// tags must not collide (deadlock or mismatched completion would
+	// surface as an error or a hang, which Run reports as deadlock).
+	_, err := Run(cfgFor(t, 6), func(c *Comm) {
+		c.Compute(time.Millisecond)
+		c.Barrier()
+		c.Isend((c.Rank()+1)%c.Size(), 64)
+		c.Irecv((c.Rank()-1+c.Size())%c.Size(), 64)
+		c.Waitall()
+		c.Compute(time.Millisecond)
+		c.Barrier()
+		c.EndStep()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

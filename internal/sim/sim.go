@@ -1,0 +1,221 @@
+// Package sim implements the discrete-event simulation engine that drives
+// the message-passing simulator. It provides a virtual clock, a binary-heap
+// event queue with deterministic tie-breaking, and an Engine loop.
+//
+// Determinism matters here: two events scheduled for the same virtual time
+// must always execute in the same order, or otherwise identical runs could
+// produce different message-matching orders and different timelines. Ties
+// are broken by insertion sequence number (FIFO among equal-time events).
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Infinity is a time later than any event the engine will ever execute.
+const Infinity Time = Time(math.MaxFloat64)
+
+// Seconds converts a plain float64 of seconds to a Time.
+func Seconds(s float64) Time { return Time(s) }
+
+// Micro converts microseconds to Time.
+func Micro(us float64) Time { return Time(us * 1e-6) }
+
+// Milli converts milliseconds to Time.
+func Milli(ms float64) Time { return Time(ms * 1e-3) }
+
+// Micros reports t in microseconds.
+func (t Time) Micros() float64 { return float64(t) * 1e6 }
+
+// Millis reports t in milliseconds.
+func (t Time) Millis() float64 { return float64(t) * 1e3 }
+
+// Event is a scheduled action. Run executes at the event's virtual time.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	pos  int // index within the heap, for O(log n) cancellation
+}
+
+// At returns the event's scheduled virtual time.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.dead }
+
+// Engine owns the virtual clock and the pending-event heap.
+// The zero value is ready to use.
+type Engine struct {
+	now      Time
+	heap     []*Event
+	seq      uint64
+	executed uint64
+	running  bool
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events still scheduled (including
+// cancelled events not yet popped).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule registers fn to run at virtual time at. Scheduling an event in
+// the past (before Now) panics: it would mean causality violation in the
+// simulation logic, which is always a programming error worth failing
+// loudly for.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// After schedules fn to run delay after the current time.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-executed or
+// already-cancelled event is a harmless no-op, which keeps caller logic
+// simple when races between completion paths occur.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	// Leave it in the heap; Run discards dead events when popped. Removing
+	// eagerly would also be possible via ev.pos, but lazily skipping is
+	// simpler and the event count in these simulations stays small.
+}
+
+// Run executes events in (time, insertion) order until the queue drains.
+// It returns the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Infinity)
+}
+
+// RunUntil executes events with time <= limit, then stops. Events beyond
+// the limit stay queued. It returns the virtual time of the last executed
+// event (or the starting time if nothing ran).
+func (e *Engine) RunUntil(limit Time) Time {
+	if e.running {
+		panic("sim: Run re-entered; event handlers must not call Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if top.at > limit {
+			break
+		}
+		e.pop()
+		if top.dead {
+			continue
+		}
+		if top.at < e.now {
+			panic(fmt.Sprintf("sim: event time %v before clock %v", top.at, e.now))
+		}
+		e.now = top.at
+		e.executed++
+		top.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one live event, if any, and reports whether an
+// event ran. Useful for fine-grained testing.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		top := e.pop()
+		if top.dead {
+			continue
+		}
+		e.now = top.at
+		e.executed++
+		top.fn()
+		return true
+	}
+	return false
+}
+
+// less orders events by time, then by insertion sequence (FIFO).
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.pos = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.pos)
+}
+
+func (e *Engine) pop() *Event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[0].pos = 0
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.down(0)
+	}
+	top.pos = -1
+	return top
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(e.heap[l], e.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && less(e.heap[r], e.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		e.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].pos = i
+	e.heap[j].pos = j
+}

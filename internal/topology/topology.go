@@ -1,0 +1,331 @@
+// Package topology describes how MPI-like ranks are laid out on a cluster
+// (rank -> core/socket/node placement) and which ranks communicate with
+// which (next-neighbor shells of distance d, unidirectional or
+// bidirectional, with open or periodic chain boundaries).
+//
+// The paper's experiments all use one-dimensional process chains with
+// point-to-point next-neighbor (d=1) or next-to-next-neighbor (d=2)
+// patterns; this package generalizes to arbitrary d.
+package topology
+
+import "fmt"
+
+// Boundary selects how the ends of the process chain behave.
+type Boundary int
+
+const (
+	// Open boundaries: ranks at the chain ends simply have fewer
+	// neighbors; idle waves run out at the edge (Fig. 5a).
+	Open Boundary = iota
+	// Periodic boundaries: the chain closes into a ring; idle waves wrap
+	// around and can hit their own origin (Fig. 5b).
+	Periodic
+)
+
+func (b Boundary) String() string {
+	switch b {
+	case Open:
+		return "open"
+	case Periodic:
+		return "periodic"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int(b))
+	}
+}
+
+// Direction selects which neighbors a rank sends to.
+type Direction int
+
+const (
+	// Unidirectional: rank i sends to i+1..i+d and receives from i-1..i-d.
+	Unidirectional Direction = iota
+	// Bidirectional: rank i exchanges (sends and receives) with both
+	// i-d..i-1 and i+1..i+d.
+	Bidirectional
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Unidirectional:
+		return "unidirectional"
+	case Bidirectional:
+		return "bidirectional"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Chain is a one-dimensional process topology.
+type Chain struct {
+	N     int       // number of ranks
+	D     int       // neighbor distance (largest offset communicated with)
+	Dir   Direction // unidirectional or bidirectional
+	Bound Boundary  // open or periodic
+}
+
+// NewChain validates and builds a chain topology.
+func NewChain(n, d int, dir Direction, bound Boundary) (Chain, error) {
+	if n <= 0 {
+		return Chain{}, fmt.Errorf("topology: need positive rank count, got %d", n)
+	}
+	if d <= 0 {
+		return Chain{}, fmt.Errorf("topology: need positive neighbor distance, got %d", d)
+	}
+	if bound == Periodic && 2*d >= n && n > 1 {
+		// With 2d >= n a periodic shell would wrap onto itself or a rank
+		// would talk to the same partner twice; keep the experiments clean.
+		return Chain{}, fmt.Errorf("topology: periodic chain of %d ranks cannot support distance %d", n, d)
+	}
+	return Chain{N: n, D: d, Dir: dir, Bound: bound}, nil
+}
+
+// wrap maps an offset rank index into [0, N) for periodic chains; for open
+// chains it returns -1 when out of range.
+func (c Chain) wrap(i int) int {
+	if c.Bound == Periodic {
+		return ((i % c.N) + c.N) % c.N
+	}
+	if i < 0 || i >= c.N {
+		return -1
+	}
+	return i
+}
+
+// SendTargets returns the ranks that rank i sends to, in deterministic
+// order: ascending positive offsets first (i+1..i+d), then descending
+// negative offsets (i-1..i-d) for bidirectional patterns. Off-chain
+// partners (open boundaries) are omitted.
+func (c Chain) SendTargets(i int) []int {
+	c.check(i)
+	var out []int
+	for off := 1; off <= c.D; off++ {
+		if j := c.wrap(i + off); j >= 0 {
+			out = append(out, j)
+		}
+	}
+	if c.Dir == Bidirectional {
+		for off := 1; off <= c.D; off++ {
+			if j := c.wrap(i - off); j >= 0 {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// RecvSources returns the ranks that rank i receives from, in deterministic
+// order: ascending negative offsets first (i-1..i-d), then positive offsets
+// for bidirectional patterns.
+func (c Chain) RecvSources(i int) []int {
+	c.check(i)
+	var out []int
+	for off := 1; off <= c.D; off++ {
+		if j := c.wrap(i - off); j >= 0 {
+			out = append(out, j)
+		}
+	}
+	if c.Dir == Bidirectional {
+		for off := 1; off <= c.D; off++ {
+			if j := c.wrap(i + off); j >= 0 {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+func (c Chain) check(i int) {
+	if i < 0 || i >= c.N {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", i, c.N))
+	}
+}
+
+// HopDistance returns the minimal chain distance between ranks a and b,
+// honoring periodicity.
+func (c Chain) HopDistance(a, b int) int {
+	c.check(a)
+	c.check(b)
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if c.Bound == Periodic && c.N-d < d {
+		d = c.N - d
+	}
+	return d
+}
+
+// String describes the chain.
+func (c Chain) String() string {
+	return fmt.Sprintf("chain[n=%d d=%d %s %s]", c.N, c.D, c.Dir, c.Bound)
+}
+
+// Placement maps ranks onto the machine hierarchy: cores within sockets
+// within nodes. Ranks are assigned in block order (rank 0..PPN-1 on node
+// 0, etc.), matching the compact process pinning the paper uses.
+type Placement struct {
+	CoresPerSocket int
+	SocketsPerNode int
+	Ranks          int
+}
+
+// NewPlacement validates and builds a placement.
+func NewPlacement(ranks, coresPerSocket, socketsPerNode int) (Placement, error) {
+	if ranks <= 0 || coresPerSocket <= 0 || socketsPerNode <= 0 {
+		return Placement{}, fmt.Errorf("topology: invalid placement ranks=%d cores/socket=%d sockets/node=%d",
+			ranks, coresPerSocket, socketsPerNode)
+	}
+	return Placement{CoresPerSocket: coresPerSocket, SocketsPerNode: socketsPerNode, Ranks: ranks}, nil
+}
+
+// Socket returns the global socket index of a rank.
+func (p Placement) Socket(rank int) int {
+	p.check(rank)
+	return rank / p.CoresPerSocket
+}
+
+// Node returns the node index of a rank.
+func (p Placement) Node(rank int) int {
+	p.check(rank)
+	return rank / (p.CoresPerSocket * p.SocketsPerNode)
+}
+
+// Core returns the core index of a rank within its socket.
+func (p Placement) Core(rank int) int {
+	p.check(rank)
+	return rank % p.CoresPerSocket
+}
+
+// SameSocket reports whether two ranks share a socket.
+func (p Placement) SameSocket(a, b int) bool { return p.Socket(a) == p.Socket(b) }
+
+// SameNode reports whether two ranks share a node.
+func (p Placement) SameNode(a, b int) bool { return p.Node(a) == p.Node(b) }
+
+// Sockets returns the number of (partially) occupied sockets.
+func (p Placement) Sockets() int {
+	return (p.Ranks + p.CoresPerSocket - 1) / p.CoresPerSocket
+}
+
+// Nodes returns the number of (partially) occupied nodes.
+func (p Placement) Nodes() int {
+	perNode := p.CoresPerSocket * p.SocketsPerNode
+	return (p.Ranks + perNode - 1) / perNode
+}
+
+// RanksOnSocket returns the ranks placed on global socket s, in order.
+func (p Placement) RanksOnSocket(s int) []int {
+	lo := s * p.CoresPerSocket
+	hi := lo + p.CoresPerSocket
+	if hi > p.Ranks {
+		hi = p.Ranks
+	}
+	if lo >= p.Ranks {
+		return nil
+	}
+	out := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+func (p Placement) check(rank int) {
+	if rank < 0 || rank >= p.Ranks {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", rank, p.Ranks))
+	}
+}
+
+// SpreadPlacement builds a placement with a fixed number of processes per
+// node (PPN) that may be smaller than the node's core count, as in the
+// paper's PPN=1 experiment (Fig. 1c). Ranks are assigned round-robin
+// across sockets within a node so that PPN=2 uses one core on each socket.
+type SpreadPlacement struct {
+	PPN            int // processes per node
+	CoresPerSocket int
+	SocketsPerNode int
+	Ranks          int
+}
+
+// NewSpreadPlacement validates and builds a spread placement.
+func NewSpreadPlacement(ranks, ppn, coresPerSocket, socketsPerNode int) (SpreadPlacement, error) {
+	if ranks <= 0 || ppn <= 0 || coresPerSocket <= 0 || socketsPerNode <= 0 {
+		return SpreadPlacement{}, fmt.Errorf("topology: invalid spread placement")
+	}
+	if ppn > coresPerSocket*socketsPerNode {
+		return SpreadPlacement{}, fmt.Errorf("topology: PPN %d exceeds node capacity %d",
+			ppn, coresPerSocket*socketsPerNode)
+	}
+	return SpreadPlacement{PPN: ppn, CoresPerSocket: coresPerSocket,
+		SocketsPerNode: socketsPerNode, Ranks: ranks}, nil
+}
+
+// Node returns the node index of a rank.
+func (p SpreadPlacement) Node(rank int) int {
+	p.check(rank)
+	return rank / p.PPN
+}
+
+// Socket returns the global socket index of a rank: local ranks rotate
+// across the node's sockets.
+func (p SpreadPlacement) Socket(rank int) int {
+	p.check(rank)
+	local := rank % p.PPN
+	return p.Node(rank)*p.SocketsPerNode + local%p.SocketsPerNode
+}
+
+// SameNode reports whether two ranks share a node.
+func (p SpreadPlacement) SameNode(a, b int) bool { return p.Node(a) == p.Node(b) }
+
+// SameSocket reports whether two ranks share a socket.
+func (p SpreadPlacement) SameSocket(a, b int) bool { return p.Socket(a) == p.Socket(b) }
+
+// Nodes returns the number of occupied nodes.
+func (p SpreadPlacement) Nodes() int { return (p.Ranks + p.PPN - 1) / p.PPN }
+
+func (p SpreadPlacement) check(rank int) {
+	if rank < 0 || rank >= p.Ranks {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", rank, p.Ranks))
+	}
+}
+
+// Locality classifies the distance class of a rank pair for hierarchical
+// communication-cost models.
+type Locality int
+
+const (
+	IntraSocket Locality = iota
+	IntraNode
+	InterNode
+)
+
+func (l Locality) String() string {
+	switch l {
+	case IntraSocket:
+		return "intra-socket"
+	case IntraNode:
+		return "intra-node"
+	case InterNode:
+		return "inter-node"
+	default:
+		return fmt.Sprintf("Locality(%d)", int(l))
+	}
+}
+
+// Locator resolves rank pairs to a locality class.
+type Locator interface {
+	SameSocket(a, b int) bool
+	SameNode(a, b int) bool
+}
+
+// Classify returns the locality class of the pair (a, b).
+func Classify(loc Locator, a, b int) Locality {
+	switch {
+	case loc.SameSocket(a, b):
+		return IntraSocket
+	case loc.SameNode(a, b):
+		return IntraNode
+	default:
+		return InterNode
+	}
+}

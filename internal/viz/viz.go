@@ -1,0 +1,250 @@
+// Package viz renders simulation traces as text: rank-over-time timeline
+// heatmaps (the textual equivalent of the paper's Figs. 4-7 and 9),
+// histograms (Fig. 3) and aligned data tables. Everything writes plain
+// ASCII so reports render anywhere.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// TimelineOptions controls timeline rendering.
+type TimelineOptions struct {
+	// Width is the number of time columns (default 100).
+	Width int
+	// Start/End clip the rendered interval; End <= Start means the whole
+	// run.
+	Start, End sim.Time
+	// EveryNthRank draws only every n-th rank row (default 1 = all).
+	EveryNthRank int
+}
+
+// Timeline renders the trace set as one row per rank and one character
+// per time bin:
+//
+//	'.' execution   'D' injected delay   '#' waiting (idle)
+//	'~' noise       'o' overhead         ' ' nothing recorded
+//
+// When several segment kinds overlap a bin, the most "interesting" wins
+// (delay > wait > noise > overhead > exec).
+func Timeline(w io.Writer, set trace.Set, opts TimelineOptions) error {
+	width := opts.Width
+	if width <= 0 {
+		width = 100
+	}
+	every := opts.EveryNthRank
+	if every <= 0 {
+		every = 1
+	}
+	start, end := opts.Start, opts.End
+	if end <= start {
+		start, end = 0, set.End()
+	}
+	if end <= start {
+		return fmt.Errorf("viz: empty time range")
+	}
+	binW := (end - start) / sim.Time(width)
+
+	rank := func(k trace.Kind) int {
+		switch k {
+		case trace.Delay:
+			return 5
+		case trace.Wait:
+			return 4
+		case trace.Noise:
+			return 3
+		case trace.Overhead:
+			return 2
+		case trace.Exec:
+			return 1
+		default:
+			return 0
+		}
+	}
+	glyph := map[trace.Kind]byte{
+		trace.Exec: '.', trace.Delay: 'D', trace.Wait: '#',
+		trace.Noise: '~', trace.Overhead: 'o',
+	}
+
+	if _, err := fmt.Fprintf(w, "time %s -> %s, one column = %s\n",
+		fmtT(start), fmtT(end), fmtT(binW)); err != nil {
+		return err
+	}
+	for _, rt := range set.Ranks {
+		if rt.Rank%every != 0 {
+			continue
+		}
+		row := make([]byte, width)
+		prio := make([]int, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, seg := range rt.Segments {
+			if seg.End <= start || seg.Start >= end {
+				continue
+			}
+			lo := int((maxT(seg.Start, start) - start) / binW)
+			hi := int((minT(seg.End, end) - start) / binW)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				if p := rank(seg.Kind); p > prio[i] {
+					prio[i] = p
+					row[i] = glyph[seg.Kind]
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "rank %3d |%s|\n", rt.Rank, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fmtT formats a simulation time with a sensible unit.
+func fmtT(t sim.Time) string {
+	switch {
+	case t == 0:
+		return "0"
+	case t < sim.Micro(1):
+		return fmt.Sprintf("%.0fns", float64(t)*1e9)
+	case t < sim.Milli(1):
+		return fmt.Sprintf("%.1fus", t.Micros())
+	case t < 1:
+		return fmt.Sprintf("%.2fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", float64(t))
+	}
+}
+
+// FormatTime exposes the unit-aware time formatter.
+func FormatTime(t sim.Time) string { return fmtT(t) }
+
+// Histogram renders a stats histogram with proportional bars.
+func Histogram(w io.Writer, h *stats.Histogram, barWidth int, unit string) error {
+	if barWidth <= 0 {
+		barWidth = 50
+	}
+	max := 0
+	for _, c := range h.Bins {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		_, err := fmt.Fprintln(w, "(empty histogram)")
+		return err
+	}
+	for i, c := range h.Bins {
+		bar := strings.Repeat("*", c*barWidth/max)
+		if _, err := fmt.Fprintf(w, "%10.3g %-6s |%-*s| %d\n",
+			h.BinCenter(i), unit, barWidth, bar, c); err != nil {
+			return err
+		}
+	}
+	if h.Under > 0 || h.Over > 0 {
+		if _, err := fmt.Fprintf(w, "(out of range: %d under, %d over)\n", h.Under, h.Over); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders rows with aligned columns. The first row is treated as
+// the header and underlined.
+func Table(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(r []string) error {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(rows[0]); err != nil {
+		return err
+	}
+	var underline []string
+	for i := 0; i < cols; i++ {
+		underline = append(underline, strings.Repeat("-", widths[i]))
+	}
+	if err := writeRow(underline); err != nil {
+		return err
+	}
+	for _, r := range rows[1:] {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a sequence of values as a compact one-line profile
+// using eight ASCII levels, for quick wave-amplitude displays.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	levels := []byte(" .:-=+*#")
+	lo, hi := stats.MinMax(values)
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteByte(levels[idx])
+	}
+	return b.String()
+}

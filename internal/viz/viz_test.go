@@ -1,0 +1,197 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func sampleSet() trace.Set {
+	r0 := trace.NewRecorder(0)
+	r0.Add(trace.Exec, 0, 10, 0)
+	r0.Add(trace.Delay, 10, 20, 0)
+	r0.EndStep(0, 20)
+	r1 := trace.NewRecorder(1)
+	r1.Add(trace.Exec, 0, 10, 0)
+	r1.Add(trace.Wait, 10, 20, 0)
+	r1.EndStep(0, 20)
+	return trace.NewSet([]trace.RankTrace{r0.Trace(), r1.Trace()})
+}
+
+func TestTimelineBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Timeline(&buf, sampleSet(), TimelineOptions{Width: 20}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Errorf("missing rank rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	// Rank 0 second half must be delay glyphs, rank 1 second half waits.
+	if !strings.Contains(lines[1], "D") {
+		t.Errorf("rank 0 row missing delay: %q", lines[1])
+	}
+	if strings.Contains(lines[1], "#") {
+		t.Errorf("rank 0 row has spurious wait: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#") {
+		t.Errorf("rank 1 row missing wait: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Errorf("rank 0 row missing exec: %q", lines[1])
+	}
+}
+
+func TestTimelineClipping(t *testing.T) {
+	var buf bytes.Buffer
+	err := Timeline(&buf, sampleSet(), TimelineOptions{Width: 10, Start: 0, End: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clipped to the exec-only interval: no delay glyph.
+	if strings.Contains(buf.String(), "D") {
+		t.Errorf("clipped timeline shows delay:\n%s", buf.String())
+	}
+}
+
+func TestTimelineEveryNthRank(t *testing.T) {
+	var traces []trace.RankTrace
+	for r := 0; r < 10; r++ {
+		rec := trace.NewRecorder(r)
+		rec.Add(trace.Exec, 0, 10, 0)
+		rec.EndStep(0, 10)
+		traces = append(traces, rec.Trace())
+	}
+	var buf bytes.Buffer
+	if err := Timeline(&buf, trace.NewSet(traces), TimelineOptions{Width: 10, EveryNthRank: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   5") {
+		t.Errorf("missing sampled ranks:\n%s", out)
+	}
+	if strings.Contains(out, "rank   1") {
+		t.Errorf("unsampled rank rendered:\n%s", out)
+	}
+}
+
+func TestTimelineEmptyRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Timeline(&buf, trace.Set{}, TimelineOptions{}); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestFormatTime(t *testing.T) {
+	cases := []struct {
+		in   sim.Time
+		want string
+	}{
+		{0, "0"},
+		{sim.Time(5e-9), "5ns"},
+		{sim.Micro(2.5), "2.5us"},
+		{sim.Milli(3), "3.00ms"},
+		{sim.Time(2), "2.000s"},
+	}
+	for _, c := range cases {
+		if got := FormatTime(c.in); got != c.want {
+			t.Errorf("FormatTime(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	h, err := stats.NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1)
+	}
+	h.Add(7)
+	h.Add(-5)
+	var buf bytes.Buffer
+	if err := Histogram(&buf, h, 20, "us"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, strings.Repeat("*", 20)) {
+		t.Errorf("tallest bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "out of range: 1 under") {
+		t.Errorf("missing out-of-range note:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h, _ := stats.NewHistogram(0, 1, 3)
+	var buf bytes.Buffer
+	if err := Histogram(&buf, h, 10, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("empty histogram output: %q", buf.String())
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]string{
+		{"sockets", "model GF/s", "measured GF/s"},
+		{"1", "3.19", "3.1"},
+		{"9", "21.4", "11.9"},
+	}
+	if err := Table(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4 (header+underline+2)", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing underline: %q", lines[1])
+	}
+	// Columns aligned: "model GF/s" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "model")
+	if lines[2][idx-1] != ' ' {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableEmptyAndRagged(t *testing.T) {
+	if err := Table(&bytes.Buffer{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table(&buf, [][]string{{"a", "b"}, {"1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a") {
+		t.Error("ragged table lost header")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len(s) != 8 {
+		t.Fatalf("sparkline length = %d", len(s))
+	}
+	if s[0] != ' ' || s[7] != '#' {
+		t.Errorf("sparkline extremes = %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "   " {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}

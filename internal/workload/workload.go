@@ -1,0 +1,227 @@
+// Package workload builds the simulated programs ("synthetic benchmarks
+// that mimic real applications", in the paper's words) that the
+// experiments run: the generic bulk-synchronous compute-communicate loop
+// with delay injections, the memory-bound MPI STREAM-triad proxy (Fig. 1),
+// the Lattice-Boltzmann proxy (Fig. 2) and the compute-bound divide
+// kernel used for noise characterization (Fig. 3).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mpisim"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// BulkSync is the paper's canonical benchmark skeleton: per time step an
+// execution phase followed by a non-blocking neighbor exchange
+// (Isend/Irecv to every neighbor, then Waitall). One-off delays can be
+// injected into specific (rank, step) execution phases.
+type BulkSync struct {
+	Chain topology.Chain
+	Steps int
+	// Texec is the compute-bound execution phase length (3 ms in most of
+	// the paper's experiments). May be zero if MemBytes is set.
+	Texec sim.Time
+	// MemBytes, if positive, makes each execution phase memory-bound:
+	// the phase streams this many bytes through the rank's socket.
+	MemBytes float64
+	// Bytes is the message size per neighbor (8192 B default in the
+	// paper; the eager limit decides the protocol).
+	Bytes int
+	// Injections are deliberate one-off delays.
+	Injections []noise.Injection
+}
+
+// Validate checks the workload parameters.
+func (b BulkSync) Validate() error {
+	if b.Chain.N <= 0 {
+		return fmt.Errorf("workload: bulk-sync needs a chain topology")
+	}
+	if b.Steps <= 0 {
+		return fmt.Errorf("workload: need positive step count, got %d", b.Steps)
+	}
+	if b.Texec < 0 || b.MemBytes < 0 {
+		return fmt.Errorf("workload: negative execution phase")
+	}
+	if b.Texec == 0 && b.MemBytes == 0 {
+		return fmt.Errorf("workload: execution phase has zero length")
+	}
+	if b.Bytes <= 0 {
+		return fmt.Errorf("workload: need positive message size, got %d", b.Bytes)
+	}
+	for _, inj := range b.Injections {
+		if inj.Rank < 0 || inj.Rank >= b.Chain.N {
+			return fmt.Errorf("workload: injection rank %d out of range", inj.Rank)
+		}
+		if inj.Step < 0 || inj.Step >= b.Steps {
+			return fmt.Errorf("workload: injection step %d out of range", inj.Step)
+		}
+		if inj.Duration <= 0 {
+			return fmt.Errorf("workload: non-positive injection duration %v", inj.Duration)
+		}
+	}
+	return nil
+}
+
+// Programs builds one program per rank.
+func (b BulkSync) Programs() ([]mpisim.Program, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	inj := make(map[int]map[int]sim.Time)
+	for _, in := range b.Injections {
+		if inj[in.Rank] == nil {
+			inj[in.Rank] = make(map[int]sim.Time)
+		}
+		inj[in.Rank][in.Step] += in.Duration
+	}
+	progs := make([]mpisim.Program, b.Chain.N)
+	for i := 0; i < b.Chain.N; i++ {
+		sends := b.Chain.SendTargets(i)
+		recvs := b.Chain.RecvSources(i)
+		p := make(mpisim.Program, 0, b.Steps*(len(sends)+len(recvs)+3))
+		for step := 0; step < b.Steps; step++ {
+			if d, ok := inj[i][step]; ok {
+				p = append(p, mpisim.Delay{Duration: d, Step: step})
+			}
+			p = append(p, mpisim.Compute{Duration: b.Texec, MemBytes: b.MemBytes, Step: step})
+			for _, to := range sends {
+				p = append(p, mpisim.Isend{To: to, Bytes: b.Bytes, Tag: step})
+			}
+			for _, from := range recvs {
+				p = append(p, mpisim.Irecv{From: from, Bytes: b.Bytes, Tag: step})
+			}
+			p = append(p, mpisim.Waitall{Step: step})
+		}
+		progs[i] = p
+	}
+	return progs, nil
+}
+
+// StreamTriad is the Fig. 1 proxy: a pure-MPI McCalpin STREAM triad
+// (A(:)=B(:)+s*C(:)) in a strong-scaling setup. The overall working set
+// is split evenly across ranks; after each loop traversal every rank
+// exchanges fixed-size messages with both ring neighbors.
+type StreamTriad struct {
+	Ranks int
+	Steps int
+	// WorkingSet is the total per-step memory traffic in bytes (the
+	// paper's V_mem = 1.2 GB).
+	WorkingSet float64
+	// MessageBytes is the per-neighbor exchange volume (V_net = 2 MB).
+	MessageBytes int
+}
+
+// Programs builds the triad programs on a closed ring.
+func (s StreamTriad) Programs() ([]mpisim.Program, error) {
+	if s.Ranks < 3 {
+		return nil, fmt.Errorf("workload: stream triad needs >= 3 ranks for a ring, got %d", s.Ranks)
+	}
+	if s.WorkingSet <= 0 {
+		return nil, fmt.Errorf("workload: non-positive working set")
+	}
+	chain, err := topology.NewChain(s.Ranks, 1, topology.Bidirectional, topology.Periodic)
+	if err != nil {
+		return nil, err
+	}
+	b := BulkSync{
+		Chain:    chain,
+		Steps:    s.Steps,
+		MemBytes: s.WorkingSet / float64(s.Ranks),
+		Bytes:    s.MessageBytes,
+	}
+	return b.Programs()
+}
+
+// LBM is the Fig. 2 proxy: a double-precision D3Q19 lattice-Boltzmann
+// solver with single relaxation time, domain-decomposed along the outer
+// dimension only, with periodic boundary conditions. Each rank streams
+// its slab (19 distributions, two grids) and exchanges face halos with
+// its two neighbors; the paper reports >= 30% communication overhead.
+type LBM struct {
+	Ranks int
+	Steps int
+	// CellsPerDim is the cubic domain edge length (302 in the paper,
+	// including the boundary layer).
+	CellsPerDim int
+	// Injections allow delay experiments on the LBM proxy.
+	Injections []noise.Injection
+}
+
+// bytesPerCell is the memory traffic per lattice cell and time step: 19
+// distributions, 8 B each, read + write (two-grid scheme).
+const bytesPerCell = 19 * 8 * 2
+
+// haloDistributions is the number of distributions that cross a face in
+// a D3Q19 stencil (5 point toward each face).
+const haloDistributions = 5
+
+// MemBytesPerRank returns the per-step memory traffic of one rank's slab.
+func (l LBM) MemBytesPerRank() float64 {
+	cells := float64(l.CellsPerDim) * float64(l.CellsPerDim) * float64(l.CellsPerDim)
+	return cells * bytesPerCell / float64(l.Ranks)
+}
+
+// HaloBytes returns the per-neighbor halo exchange volume.
+func (l LBM) HaloBytes() int {
+	face := l.CellsPerDim * l.CellsPerDim
+	return face * haloDistributions * 8
+}
+
+// Programs builds the LBM programs on a closed ring.
+func (l LBM) Programs() ([]mpisim.Program, error) {
+	if l.Ranks < 3 {
+		return nil, fmt.Errorf("workload: LBM needs >= 3 ranks, got %d", l.Ranks)
+	}
+	if l.CellsPerDim <= 0 {
+		return nil, fmt.Errorf("workload: non-positive domain size")
+	}
+	chain, err := topology.NewChain(l.Ranks, 1, topology.Bidirectional, topology.Periodic)
+	if err != nil {
+		return nil, err
+	}
+	b := BulkSync{
+		Chain:      chain,
+		Steps:      l.Steps,
+		MemBytes:   l.MemBytesPerRank(),
+		Bytes:      l.HaloBytes(),
+		Injections: l.Injections,
+	}
+	return b.Programs()
+}
+
+// DivideKernel is the Fig. 3 noise-characterization workload: phases of
+// back-to-back dependent floating-point divides (whose duration is known
+// exactly) alternating with latency-bound next-neighbor communication.
+// Deviations of the measured phase duration from PhaseTime are pure
+// noise.
+type DivideKernel struct {
+	Ranks     int
+	Steps     int
+	PhaseTime sim.Time // 3 ms in the paper
+}
+
+// Programs builds the divide-kernel programs on an open bidirectional
+// chain with minimal messages.
+func (d DivideKernel) Programs() ([]mpisim.Program, error) {
+	if d.Ranks < 2 {
+		return nil, fmt.Errorf("workload: divide kernel needs >= 2 ranks, got %d", d.Ranks)
+	}
+	if d.PhaseTime <= 0 {
+		return nil, fmt.Errorf("workload: non-positive phase time %v", d.PhaseTime)
+	}
+	chain, err := topology.NewChain(d.Ranks, 1, topology.Bidirectional, topology.Open)
+	if err != nil {
+		return nil, err
+	}
+	b := BulkSync{
+		Chain: chain,
+		Steps: d.Steps,
+		Texec: d.PhaseTime,
+		Bytes: 8, // one double: latency-bound
+	}
+	return b.Programs()
+}
