@@ -20,9 +20,10 @@ import (
 
 func main() {
 	var (
-		out  = flag.String("out", "out", "output directory")
-		seed = flag.Uint64("seed", 42, "random seed")
-		full = flag.Bool("full", false, "run full (paper-scale) problem sizes")
+		out     = flag.String("out", "out", "output directory")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		full    = flag.Bool("full", false, "run full (paper-scale) problem sizes")
+		workers = flag.Int("workers", 0, "sweep-engine worker pool size (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -30,7 +31,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}
-	opts := core.Options{Seed: *seed, Quick: !*full}
+	opts := core.Options{Seed: *seed, Quick: !*full, Workers: *workers}
 	for _, id := range core.Experiments() {
 		start := time.Now()
 		rep, err := core.Run(id, opts)

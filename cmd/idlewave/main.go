@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (fig1..fig9, eq2)")
-		seed = flag.Uint64("seed", 42, "random seed for noise and injections")
-		full = flag.Bool("full", false, "run full (paper-scale) problem sizes")
-		csv  = flag.Bool("csv", false, "print the data rows as CSV instead of the report")
-		list = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id (fig1..fig9, eq2)")
+		seed    = flag.Uint64("seed", 42, "random seed for noise and injections")
+		full    = flag.Bool("full", false, "run full (paper-scale) problem sizes")
+		workers = flag.Int("workers", 0, "sweep-engine worker pool size (0 = all cores)")
+		csv     = flag.Bool("csv", false, "print the data rows as CSV instead of the report")
+		list    = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "idlewave: pick an experiment with -exp (see -list)")
 		os.Exit(2)
 	}
-	rep, err := core.Run(*exp, core.Options{Seed: *seed, Quick: !*full})
+	rep, err := core.Run(*exp, core.Options{Seed: *seed, Quick: !*full, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "idlewave: %v\n", err)
 		os.Exit(1)

@@ -3,80 +3,62 @@
 // kernel with exactly known phase duration, measures per-phase deviations
 // and prints a histogram.
 //
+// Several machines can be scanned in one invocation; the scans fan out
+// across the sweep engine's worker pool and the report sections print in
+// request order.
+//
 // Usage:
 //
 //	noisescan -machine emmy
 //	noisescan -machine meggie -phases 100000 -bins 60
+//	noisescan -machine all -workers 4
+//	noisescan -machine emmy,meggie
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
-	"repro/internal/model"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/viz"
+	"repro/internal/scan"
 )
 
 func main() {
 	var (
-		machine = flag.String("machine", "emmy", "machine profile: emmy, meggie or simulated")
+		machine = flag.String("machine", "emmy", "machine profile: emmy, meggie, simulated, a comma-separated list, or all")
 		phases  = flag.Int("phases", 330000, "number of 3 ms execution phases to sample")
 		bins    = flag.Int("bins", 50, "histogram bins")
 		seed    = flag.Uint64("seed", 42, "random seed")
+		workers = flag.Int("workers", 0, "worker pool size for multi-machine scans (0 = all cores)")
 	)
 	flag.Parse()
 
-	m, err := cluster.ByName(*machine)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "noisescan: %v\n", err)
-		os.Exit(1)
+	var machines []cluster.Machine
+	if *machine == "all" {
+		machines = cluster.All()
+	} else {
+		for _, name := range strings.Split(*machine, ",") {
+			m, err := cluster.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "noisescan: %v\n", err)
+				os.Exit(1)
+			}
+			machines = append(machines, m)
+		}
 	}
 
-	// The divide kernel's duration is known exactly (one vdivpd per 28
-	// cycles on Ivy Bridge at 2.2 GHz); everything beyond it is noise.
-	div := model.DividePhase{DivideCycles: 28, ClockHz: 2.2e9}
-	n, err := div.InstructionsFor(sim.Milli(3))
+	out, err := scan.Run(scan.Config{
+		Machines: machines,
+		Phases:   *phases,
+		Bins:     *bins,
+		Seed:     *seed,
+		Workers:  *workers,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "noisescan: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("machine %s: %d divide instructions per 3 ms phase, %d phases\n",
-		m.Name, n, *phases)
-
-	if m.NoiseProfile == nil {
-		fmt.Println("machine is noise-free; nothing to scan")
-		return
-	}
-	xs, err := m.NoiseProfile.Sample(*seed, *phases)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "noisescan: %v\n", err)
-		os.Exit(1)
-	}
-	var sum stats.Summary
-	for _, x := range xs {
-		sum.Add(x.Micros())
-	}
-	fmt.Printf("deviation from ideal phase duration: mean %.2f us, max %.1f us\n",
-		sum.Mean(), sum.Max())
-	h, err := stats.NewHistogram(0, sum.Max()*1.05, *bins)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "noisescan: %v\n", err)
-		os.Exit(1)
-	}
-	for _, x := range xs {
-		h.Add(x.Micros())
-	}
-	if err := viz.Histogram(os.Stdout, h, 50, "us"); err != nil {
-		fmt.Fprintf(os.Stderr, "noisescan: %v\n", err)
-		os.Exit(1)
-	}
-	peaks := h.Peaks(*phases / 500)
-	fmt.Printf("detected %d population peak(s)\n", len(peaks))
-	for _, p := range peaks {
-		fmt.Printf("  peak near %.1f us\n", p)
-	}
+	fmt.Print(out)
 }

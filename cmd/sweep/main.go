@@ -1,0 +1,285 @@
+// Command sweep runs ad-hoc parameter sweeps over the idle-wave
+// simulator: the cartesian product of noise level E, message size,
+// neighbor distance d, direction and machine fans out across a worker
+// pool and the per-point metrics come back as a table, CSV or JSON —
+// deterministically, independent of the worker count.
+//
+// Usage:
+//
+//	sweep -E 0,0.02,0.05,0.1
+//	sweep -E 0,0.1 -bytes 8192,262144 -d 1,2 -dir uni,bi -format csv
+//	sweep -machine emmy,meggie -metrics speed,decay,idle -o out.csv -format csv
+//	sweep -E 0,0.05,0.1 -bench    # engine scaling demo: serial vs parallel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		ranks    = flag.Int("ranks", 24, "number of ranks")
+		steps    = flag.Int("steps", 26, "time steps")
+		texec    = flag.Duration("texec", 3*time.Millisecond, "execution phase length")
+		delayAt  = flag.Int("delay-rank", 0, "rank receiving the injected delay (-1 = none)")
+		delaySt  = flag.Int("delay-step", 2, "step receiving the injected delay")
+		delayDur = flag.Duration("delay", 15*time.Millisecond, "injected delay duration")
+		periodic = flag.Bool("periodic", true, "periodic (ring) boundary instead of open chain")
+		seed     = flag.Uint64("seed", 42, "random seed")
+
+		eList    = flag.String("E", "0", "comma-separated injected noise levels")
+		byteList = flag.String("bytes", "8192", "comma-separated message sizes in bytes")
+		dList    = flag.String("d", "1", "comma-separated neighbor distances")
+		dirList  = flag.String("dir", "bi", "comma-separated directions: uni, bi")
+		machList = flag.String("machine", "emmy", "comma-separated machines: emmy, meggie, simulated, or all")
+
+		metricsF = flag.String("metrics", "speed,decay,idle,runtime", "comma-separated metrics: speed, decay, idle, quiet, runtime, events")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = all cores)")
+		format   = flag.String("format", "table", "output format: table, csv or json")
+		outFile  = flag.String("o", "", "write output to a file instead of stdout")
+		bench    = flag.Bool("bench", false, "time the grid with workers=1 and the requested pool, report the speedup")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(specFlags{
+		ranks: *ranks, steps: *steps, texec: *texec,
+		delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
+		periodic: *periodic, seed: *seed,
+		eList: *eList, byteList: *byteList, dList: *dList,
+		dirList: *dirList, machList: *machList, metrics: *metricsF,
+		workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown format %q (want table, csv or json)\n", *format)
+		os.Exit(1)
+	}
+
+	if *bench {
+		if err := runBench(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tbl, err := idlewave.Sweep(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	var f *os.File
+	if *outFile != "" {
+		f, err = os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = tbl.WriteCSV(w)
+	case "json":
+		err = tbl.WriteJSON(w)
+	default:
+		err = viz.Table(w, tbl.Rows())
+	}
+	if err == nil && f != nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type specFlags struct {
+	ranks, steps       int
+	texec, delayDur    time.Duration
+	delayAt, delayStep int
+	periodic           bool
+	seed               uint64
+	eList, byteList    string
+	dList, dirList     string
+	machList, metrics  string
+	workers            int
+}
+
+func buildSpec(f specFlags) (idlewave.SweepSpec, error) {
+	var zero idlewave.SweepSpec
+	base := idlewave.ScenarioSpec{
+		Ranks: f.ranks,
+		Steps: f.steps,
+		Texec: f.texec,
+		Seed:  f.seed,
+	}
+	if f.periodic {
+		base.Boundary = idlewave.Periodic
+	}
+	if f.delayAt >= 0 {
+		base.Delay = []idlewave.Injection{idlewave.Inject(f.delayAt, f.delayStep, f.delayDur)}
+	}
+
+	var axes []idlewave.SweepAxis
+	machines, err := parseMachines(f.machList)
+	if err != nil {
+		return zero, err
+	}
+	axes = append(axes, idlewave.MachineAxis(machines...))
+	es, err := parseFloats(f.eList)
+	if err != nil {
+		return zero, fmt.Errorf("-E: %w", err)
+	}
+	axes = append(axes, idlewave.NoiseAxis(es...))
+	bytes, err := parseInts(f.byteList)
+	if err != nil {
+		return zero, fmt.Errorf("-bytes: %w", err)
+	}
+	axes = append(axes, idlewave.MessageAxis(bytes...))
+	ds, err := parseInts(f.dList)
+	if err != nil {
+		return zero, fmt.Errorf("-d: %w", err)
+	}
+	axes = append(axes, idlewave.DistanceAxis(ds...))
+	dirs, err := parseDirections(f.dirList)
+	if err != nil {
+		return zero, fmt.Errorf("-dir: %w", err)
+	}
+	axes = append(axes, idlewave.DirectionAxis(dirs...))
+
+	metrics, err := parseMetrics(f.metrics, f.delayAt)
+	if err != nil {
+		return zero, err
+	}
+	return idlewave.SweepSpec{Base: base, Axes: axes, Metrics: metrics, Workers: f.workers}, nil
+}
+
+func runBench(spec idlewave.SweepSpec) error {
+	points := 1
+	for _, ax := range spec.Axes {
+		points *= len(ax.Labels)
+	}
+	fmt.Printf("grid: %d points\n", points)
+
+	serial := spec
+	serial.Workers = 1
+	t0 := time.Now()
+	if _, err := idlewave.Sweep(serial); err != nil {
+		return err
+	}
+	tSerial := time.Since(t0)
+	fmt.Printf("workers=1: %v\n", tSerial.Round(time.Millisecond))
+
+	t0 = time.Now()
+	if _, err := idlewave.Sweep(spec); err != nil {
+		return err
+	}
+	tPar := time.Since(t0)
+	label := fmt.Sprint(spec.Workers)
+	if spec.Workers < 1 {
+		label = "all cores"
+	}
+	fmt.Printf("workers=%s: %v (%.2fx speedup)\n",
+		label, tPar.Round(time.Millisecond), tSerial.Seconds()/tPar.Seconds())
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseDirections(s string) ([]idlewave.Direction, error) {
+	var out []idlewave.Direction
+	for _, p := range strings.Split(s, ",") {
+		switch strings.TrimSpace(p) {
+		case "uni", "unidirectional":
+			out = append(out, idlewave.Unidirectional)
+		case "bi", "bidirectional":
+			out = append(out, idlewave.Bidirectional)
+		default:
+			return nil, fmt.Errorf("unknown direction %q (want uni or bi)", p)
+		}
+	}
+	return out, nil
+}
+
+func parseMachines(s string) ([]idlewave.Machine, error) {
+	if s == "all" {
+		return cluster.All(), nil
+	}
+	var out []idlewave.Machine
+	for _, p := range strings.Split(s, ",") {
+		m, err := cluster.ByName(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func parseMetrics(s string, delayAt int) ([]idlewave.Metric, error) {
+	src := delayAt
+	if src < 0 {
+		src = 0
+	}
+	var out []idlewave.Metric
+	for _, p := range strings.Split(s, ",") {
+		switch strings.TrimSpace(p) {
+		case "speed":
+			out = append(out, idlewave.MetricWaveSpeed(src))
+		case "decay":
+			out = append(out, idlewave.MetricWaveDecay(src))
+		case "idle":
+			out = append(out, idlewave.MetricTotalIdle())
+		case "quiet":
+			out = append(out, idlewave.MetricQuietStep())
+		case "runtime":
+			out = append(out, idlewave.MetricRuntime())
+		case "events":
+			out = append(out, idlewave.MetricEvents())
+		default:
+			return nil, fmt.Errorf("unknown metric %q (want speed, decay, idle, quiet, runtime or events)", p)
+		}
+	}
+	return out, nil
+}

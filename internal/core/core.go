@@ -29,6 +29,10 @@ type Options struct {
 	// suite runs in seconds (used by tests); the full sizes match the
 	// paper as closely as practical.
 	Quick bool
+	// Workers bounds the sweep engine's worker pool for experiments
+	// that fan their parameter grids out concurrently; 0 means
+	// GOMAXPROCS. Reports are identical for any worker count.
+	Workers int
 }
 
 // Report is the outcome of one experiment.
@@ -221,4 +225,12 @@ func chainOrDie(n, d int, dir topology.Direction, b topology.Boundary) topology.
 // injection is sugar for a one-off delay.
 func injection(rank, step int, d sim.Time) noise.Injection {
 	return noise.Injection{Rank: rank, Step: step, Duration: d}
+}
+
+// jobSeed derives an independent random seed for one job of a
+// concurrent sweep from the experiment seed and the job's grid index.
+// Seeds depend only on (base, job), never on scheduling, so sweeps stay
+// reproducible at any worker count.
+func jobSeed(base uint64, job int) uint64 {
+	return base ^ (uint64(job)+1)*0x9e3779b97f4a7c15
 }

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// TestReportsIdenticalAtAnyWorkerCount is the engine-integration
+// determinism guarantee: a fixed-seed experiment renders byte-identical
+// reports whether its parameter grid runs on one worker or many. fig8
+// is the most demanding case (machines x noise levels x repetitions,
+// all stochastic); fig5 and eq2 cover the noise-free grids.
+func TestReportsIdenticalAtAnyWorkerCount(t *testing.T) {
+	for _, id := range []string{"fig5", "fig8", "eq2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(id, Options{Seed: 42, Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{8, 0} {
+				parallel, err := Run(id, Options{Seed: 42, Quick: true, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if parallel.String() != serial.String() {
+					t.Errorf("workers=%d report differs from workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s",
+						workers, serial.String(), workers, parallel.String())
+				}
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spectral"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/viz"
 	"repro/internal/workload"
@@ -32,18 +33,21 @@ func runFig1(opts Options) (*Report, error) {
 		nodeCounts = []int{1, 2, 4}
 	}
 
-	natural, err := m.NaturalNoise(opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-
 	rep.addf("panel (a/b): PPN=%d, working set %.2g B, %d time steps", m.CoresPerSocket, triad.WorkingSet, steps)
 	rows := [][]string{{"sockets", "model GF/s", "measured GF/s", "exec model GF/s",
 		"exec median GF/s", "exec min", "exec max"}}
 	data := [][]string{{"panel", "sockets_or_nodes", "model_gfs", "measured_gfs", "exec_model_gfs", "exec_median_gfs"}}
 
-	var lastRatio float64
-	for n := 1; n <= maxSockets; n++ {
+	// Panel (a/b): one sweep job per socket count. Each job builds its
+	// own natural-noise injector from a job-derived seed; injectors hold
+	// per-rank RNG streams and must never be shared across concurrent
+	// runs.
+	type aPoint struct {
+		row, dataRow []string
+		ratio        float64
+	}
+	aPoints, err := sweep.Map(opts.Workers, maxSockets, func(job int) (aPoint, error) {
+		n := job + 1
 		ranks := n * m.CoresPerSocket
 		wl := workload.StreamTriad{
 			Ranks:        ranks,
@@ -53,11 +57,15 @@ func runFig1(opts Options) (*Report, error) {
 		}
 		progs, err := wl.Programs()
 		if err != nil {
-			return nil, err
+			return aPoint{}, err
+		}
+		natural, err := m.NaturalNoise(jobSeed(opts.Seed, job))
+		if err != nil {
+			return aPoint{}, err
 		}
 		res, err := memRun(m, progs, ranks, natural)
 		if err != nil {
-			return nil, err
+			return aPoint{}, err
 		}
 		measured := triad.Performance(meanStepTime(res.Traces))
 
@@ -75,19 +83,30 @@ func runFig1(opts Options) (*Report, error) {
 
 		modelP := triad.PredictedPerformance(n)
 		execModelP := triad.PredictedExecPerformance(n)
-		rows = append(rows, []string{
-			fmt.Sprint(n),
-			fmt.Sprintf("%.2f", modelP/1e9),
-			fmt.Sprintf("%.2f", measured/1e9),
-			fmt.Sprintf("%.2f", execModelP/1e9),
-			fmt.Sprintf("%.2f", execStats.Median/1e9),
-			fmt.Sprintf("%.2f", execStats.Min/1e9),
-			fmt.Sprintf("%.2f", execStats.Max/1e9),
-		})
-		data = append(data, []string{"a", fmt.Sprint(n),
-			fmt.Sprintf("%.4g", modelP/1e9), fmt.Sprintf("%.4g", measured/1e9),
-			fmt.Sprintf("%.4g", execModelP/1e9), fmt.Sprintf("%.4g", execStats.Median/1e9)})
-		lastRatio = modelP / measured
+		return aPoint{
+			row: []string{
+				fmt.Sprint(n),
+				fmt.Sprintf("%.2f", modelP/1e9),
+				fmt.Sprintf("%.2f", measured/1e9),
+				fmt.Sprintf("%.2f", execModelP/1e9),
+				fmt.Sprintf("%.2f", execStats.Median/1e9),
+				fmt.Sprintf("%.2f", execStats.Min/1e9),
+				fmt.Sprintf("%.2f", execStats.Max/1e9),
+			},
+			dataRow: []string{"a", fmt.Sprint(n),
+				fmt.Sprintf("%.4g", modelP/1e9), fmt.Sprintf("%.4g", measured/1e9),
+				fmt.Sprintf("%.4g", execModelP/1e9), fmt.Sprintf("%.4g", execStats.Median/1e9)},
+			ratio: modelP / measured,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lastRatio float64
+	for _, p := range aPoints {
+		rows = append(rows, p.row)
+		data = append(data, p.dataRow)
+		lastRatio = p.ratio
 	}
 	var tbl strings.Builder
 	if err := viz.Table(&tbl, rows); err != nil {
@@ -101,14 +120,12 @@ func runFig1(opts Options) (*Report, error) {
 	rep.addf("")
 	rep.addf("panel (c): PPN=1, single-core bandwidth limit %.1f GB/s", m.MemBandwidth/6/1e9)
 	rowsC := [][]string{{"nodes", "model GF/s", "measured GF/s", "deviation %"}}
-	var worst float64
-	for _, n := range nodeCounts {
-		if n < 3 {
-			// Ring topology needs at least 3 ranks.
-			if n != 1 && n != 2 {
-				continue
-			}
-		}
+	type cPoint struct {
+		row, dataRow []string
+		dev          float64
+	}
+	cPoints, err := sweep.Map(opts.Workers, len(nodeCounts), func(job int) (cPoint, error) {
+		n := nodeCounts[job]
 		ranks := n
 		if ranks < 3 {
 			ranks = 3 // smallest ring; performance normalized per rank anyway
@@ -121,11 +138,15 @@ func runFig1(opts Options) (*Report, error) {
 		}
 		progs, err := wl.Programs()
 		if err != nil {
-			return nil, err
+			return cPoint{}, err
+		}
+		natural, err := m.NaturalNoise(jobSeed(opts.Seed, maxSockets+job))
+		if err != nil {
+			return cPoint{}, err
 		}
 		res, err := spreadRun(m, progs, ranks, 1, natural)
 		if err != nil {
-			return nil, err
+			return cPoint{}, err
 		}
 		measured := triad.Performance(meanStepTime(res.Traces))
 		// PPN=1 model: each process streams V/ranks at the single-core
@@ -134,14 +155,25 @@ func runFig1(opts Options) (*Report, error) {
 		stepT := sim.Time(triad.WorkingSet/(float64(ranks)*coreBW)) + triad.CommTime()
 		modelP := triad.Performance(stepT)
 		dev := 100 * (modelP - measured) / modelP
-		if dev > worst {
-			worst = dev
+		return cPoint{
+			row: []string{fmt.Sprint(n),
+				fmt.Sprintf("%.2f", modelP/1e9), fmt.Sprintf("%.2f", measured/1e9),
+				fmt.Sprintf("%.1f", dev)},
+			dataRow: []string{"c", fmt.Sprint(n),
+				fmt.Sprintf("%.4g", modelP/1e9), fmt.Sprintf("%.4g", measured/1e9), "", ""},
+			dev: dev,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var worst float64
+	for _, p := range cPoints {
+		rowsC = append(rowsC, p.row)
+		data = append(data, p.dataRow)
+		if p.dev > worst {
+			worst = p.dev
 		}
-		rowsC = append(rowsC, []string{fmt.Sprint(n),
-			fmt.Sprintf("%.2f", modelP/1e9), fmt.Sprintf("%.2f", measured/1e9),
-			fmt.Sprintf("%.1f", dev)})
-		data = append(data, []string{"c", fmt.Sprint(n),
-			fmt.Sprintf("%.4g", modelP/1e9), fmt.Sprintf("%.4g", measured/1e9), "", ""})
 	}
 	tbl.Reset()
 	if err := viz.Table(&tbl, rowsC); err != nil {
@@ -257,10 +289,17 @@ func runFig3(opts Options) (*Report, error) {
 		n = 30000
 	}
 	data := [][]string{{"system", "mean_us", "max_us", "peaks_us"}}
-	for _, prof := range []noise.Profile{noise.EmmyProfile(), noise.MeggieProfile()} {
+	profiles := []noise.Profile{noise.EmmyProfile(), noise.MeggieProfile()}
+	type histPoint struct {
+		lines   []string
+		dataRow []string
+		finding string
+	}
+	points, err := sweep.Map(opts.Workers, len(profiles), func(job int) (histPoint, error) {
+		prof := profiles[job]
 		xs, err := prof.Sample(opts.Seed, n)
 		if err != nil {
-			return nil, err
+			return histPoint{}, err
 		}
 		var s stats.Summary
 		for _, x := range xs {
@@ -269,27 +308,37 @@ func runFig3(opts Options) (*Report, error) {
 		hi := s.Max() * 1.05
 		h, err := stats.NewHistogram(0, hi, 40)
 		if err != nil {
-			return nil, err
+			return histPoint{}, err
 		}
 		for _, x := range xs {
 			h.Add(x.Micros())
 		}
 		peaks := h.Peaks(n / 500)
-		rep.addf("%s: %d samples, mean %.2f us, max %.1f us, %d peak(s) at %v us",
-			prof.Name, n, s.Mean(), s.Max(), len(peaks), fmtPeaks(peaks))
+		var p histPoint
+		p.lines = append(p.lines, fmt.Sprintf("%s: %d samples, mean %.2f us, max %.1f us, %d peak(s) at %v us",
+			prof.Name, n, s.Mean(), s.Max(), len(peaks), fmtPeaks(peaks)))
 		var hb strings.Builder
 		if err := viz.Histogram(&hb, h, 40, "us"); err != nil {
-			return nil, err
+			return histPoint{}, err
 		}
-		rep.Lines = append(rep.Lines, strings.Split(strings.TrimRight(hb.String(), "\n"), "\n")...)
-		rep.addf("")
-		data = append(data, []string{prof.Name, fmt.Sprintf("%.3g", s.Mean()),
-			fmt.Sprintf("%.3g", s.Max()), fmtPeaks(peaks)})
+		p.lines = append(p.lines, strings.Split(strings.TrimRight(hb.String(), "\n"), "\n")...)
+		p.lines = append(p.lines, "")
+		p.dataRow = []string{prof.Name, fmt.Sprintf("%.3g", s.Mean()),
+			fmt.Sprintf("%.3g", s.Max()), fmtPeaks(peaks)}
 		if prof.Name == "emmy-smt-on" {
-			rep.finding("Emmy (SMT on): unimodal, mean %.1f us, max < 30 us (paper: 2.4 us / <30 us)", s.Mean())
+			p.finding = fmt.Sprintf("Emmy (SMT on): unimodal, mean %.1f us, max < 30 us (paper: 2.4 us / <30 us)", s.Mean())
 		} else {
-			rep.finding("Meggie (SMT off): bimodal with driver peak near %.0f us (paper: ~660 us)", lastPeak(peaks))
+			p.finding = fmt.Sprintf("Meggie (SMT off): bimodal with driver peak near %.0f us (paper: ~660 us)", lastPeak(peaks))
 		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		rep.Lines = append(rep.Lines, p.lines...)
+		data = append(data, p.dataRow)
+		rep.Findings = append(rep.Findings, p.finding)
 	}
 	rep.Data = data
 	return rep, nil

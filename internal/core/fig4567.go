@@ -8,6 +8,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/viz"
 	"repro/internal/wave"
@@ -112,7 +113,12 @@ func runFig5(opts Options) (*Report, error) {
 	}
 	rep.Data = [][]string{{"panel", "protocol", "direction", "boundary",
 		"speed_ranks_per_s", "eq2_ranks_per_s", "rel_err", "quiet_step", "backward"}}
-	for _, p := range panels {
+	type panelOut struct {
+		line    string
+		dataRow []string
+	}
+	outs, err := sweep.Map(opts.Workers, len(panels), func(job int) (panelOut, error) {
+		p := panels[job]
 		b := workload.BulkSync{
 			Chain:      chainOrDie(n, 1, p.dir, p.bound),
 			Steps:      steps,
@@ -122,7 +128,7 @@ func runFig5(opts Options) (*Report, error) {
 		}
 		res, err := bulkRun(m, b, nil)
 		if err != nil {
-			return nil, err
+			return panelOut{}, err
 		}
 		proto := "eager"
 		rendezvous := p.bytes > m.EagerLimit
@@ -147,12 +153,21 @@ func runFig5(opts Options) (*Report, error) {
 		pred := wave.SilentSpeed(sigma, 1, stdTexec, commTime(m, p.bytes))
 		quiet := wave.QuietStep(res.Traces, waveThreshold())
 		backward := detectBackward(f, 5, n, p.bound)
-		rep.addf("panel (%s): %s %s %s: speed %.0f ranks/s (Eq.2: %.0f), quiet from step %d, backward=%v",
-			p.id, proto, p.dir, p.bound, speed, pred, quiet, backward)
-		rep.Data = append(rep.Data, []string{p.id, proto, p.dir.String(), p.bound.String(),
-			fmt.Sprintf("%.1f", speed), fmt.Sprintf("%.1f", pred),
-			fmt.Sprintf("%.3f", wave.RelativeError(speed, pred)),
-			fmt.Sprint(quiet), fmt.Sprint(backward)})
+		return panelOut{
+			line: fmt.Sprintf("panel (%s): %s %s %s: speed %.0f ranks/s (Eq.2: %.0f), quiet from step %d, backward=%v",
+				p.id, proto, p.dir, p.bound, speed, pred, quiet, backward),
+			dataRow: []string{p.id, proto, p.dir.String(), p.bound.String(),
+				fmt.Sprintf("%.1f", speed), fmt.Sprintf("%.1f", pred),
+				fmt.Sprintf("%.3f", wave.RelativeError(speed, pred)),
+				fmt.Sprint(quiet), fmt.Sprint(backward)},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		rep.Lines = append(rep.Lines, o.line)
+		rep.Data = append(rep.Data, o.dataRow)
 	}
 	rep.finding("eager waves travel only forward for unidirectional patterns; rendezvous waves travel both ways; bidirectional rendezvous doubles the speed (sigma=2)")
 	rep.finding("periodic boundaries let waves wrap and cancel; open boundaries let them run out")
@@ -188,29 +203,42 @@ func runFig6(opts Options) (*Report, error) {
 		{"random", func(int) sim.Time { return sim.Time(1+r.Float64()*5) * stdTexec }},
 	}
 	rep.Data = [][]string{{"variant", "quiet_step", "peak_waves", "total_idle_s", "max_idle_step_s"}}
+	// Injection lists are materialized serially first: the "random"
+	// variant consumes the shared rng stream, and that consumption order
+	// is part of the experiment's reproducibility contract. Only the
+	// (independent) simulation runs fan out over the engine.
+	type variantJob struct {
+		id   string
+		injs []noise.Injection
+	}
+	jobs := make([]variantJob, 0, len(variants))
 	for _, v := range variants {
 		var injs []noise.Injection
-		maxDelay := sim.Time(0)
 		for s := 0; s*socketSize+5 < ranks; s++ {
-			d := v.durFn(s)
-			if d > maxDelay {
-				maxDelay = d
-			}
-			injs = append(injs, injection(s*socketSize+5, 1, d))
+			injs = append(injs, injection(s*socketSize+5, 1, v.durFn(s)))
 		}
+		jobs = append(jobs, variantJob{id: v.id, injs: injs})
+	}
+	type variantOut struct {
+		lines   []string
+		dataRow []string
+		quiet   int
+	}
+	outs, err := sweep.Map(opts.Workers, len(jobs), func(job int) (variantOut, error) {
+		v := jobs[job]
 		b := workload.BulkSync{
 			Chain:      chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
 			Steps:      steps,
 			Texec:      stdTexec,
 			Bytes:      smallMsgBytes,
-			Injections: injs,
+			Injections: v.injs,
 		}
 		// The paper runs this on 10 processes per socket; intra-node
 		// communication differences are "of no significance here", so the
 		// flat network keeps the experiment controlled.
 		res, err := bulkRun(m, b, nil)
 		if err != nil {
-			return nil, err
+			return variantOut{}, err
 		}
 		idle := wave.TotalIdleByStep(res.Traces)
 		peak := 0
@@ -227,17 +255,29 @@ func runFig6(opts Options) (*Report, error) {
 				maxStep = v
 			}
 		}
-		rep.addf("%-6s: peak simultaneous waves %d, quiet from step %d, total idle %s",
-			v.id, peak, quiet, viz.FormatTime(total))
-		rep.addf("        idle/step: %s", viz.Sparkline(timesToFloats(idle)))
-		rep.Data = append(rep.Data, []string{v.id, fmt.Sprint(quiet), fmt.Sprint(peak),
-			fmt.Sprintf("%.4f", float64(total)), fmt.Sprintf("%.4f", float64(maxStep))})
-		switch v.id {
+		return variantOut{
+			lines: []string{
+				fmt.Sprintf("%-6s: peak simultaneous waves %d, quiet from step %d, total idle %s",
+					v.id, peak, quiet, viz.FormatTime(total)),
+				fmt.Sprintf("        idle/step: %s", viz.Sparkline(timesToFloats(idle))),
+			},
+			dataRow: []string{v.id, fmt.Sprint(quiet), fmt.Sprint(peak),
+				fmt.Sprintf("%.4f", float64(total)), fmt.Sprintf("%.4f", float64(maxStep))},
+			quiet: quiet,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range outs {
+		rep.Lines = append(rep.Lines, o.lines...)
+		rep.Data = append(rep.Data, o.dataRow)
+		switch jobs[i].id {
 		case "equal":
-			rep.finding("equal delays: all waves cancel pairwise after ~%d steps (paper: after five hops)", quiet-1)
+			rep.finding("equal delays: all waves cancel pairwise after ~%d steps (paper: after five hops)", o.quiet-1)
 		case "random":
 			rep.finding("random delays: the strongest waves outlive the rest (quiet step %d vs %s for equal)",
-				quiet, "earlier")
+				o.quiet, "earlier")
 		}
 	}
 	return rep, nil
@@ -250,8 +290,14 @@ func runFig7(opts Options) (*Report, error) {
 	m := cluster.Emmy()
 	n, steps := 18, 16
 	rep.Data = [][]string{{"direction", "speed_ranks_per_s", "eq2_ranks_per_s", "rel_err"}}
-	speeds := map[topology.Direction]float64{}
-	for _, dir := range []topology.Direction{topology.Unidirectional, topology.Bidirectional} {
+	dirs := []topology.Direction{topology.Unidirectional, topology.Bidirectional}
+	type dirOut struct {
+		line    string
+		dataRow []string
+		speed   float64
+	}
+	outs, err := sweep.Map(opts.Workers, len(dirs), func(job int) (dirOut, error) {
+		dir := dirs[job]
 		b := workload.BulkSync{
 			Chain:      chainOrDie(n, 2, dir, topology.Open),
 			Steps:      steps,
@@ -261,22 +307,31 @@ func runFig7(opts Options) (*Report, error) {
 		}
 		res, err := bulkRun(m, b, nil)
 		if err != nil {
-			return nil, err
+			return dirOut{}, err
 		}
 		f := wave.TrackFront(res.Traces, 8, false, waveThreshold())
 		sp, err := wave.Speed(f)
 		if err != nil {
-			return nil, err
+			return dirOut{}, err
 		}
 		sigma := wave.Sigma(dir == topology.Bidirectional, true)
 		pred := wave.SilentSpeed(sigma, 2, stdTexec, commTime(m, largeMsgBytes))
-		speeds[dir] = sp.RanksPerSecond
-		rep.addf("%-14s d=2 rendezvous: %.0f ranks/s (Eq.2: %.0f)", dir, sp.RanksPerSecond, pred)
-		rep.Data = append(rep.Data, []string{dir.String(),
-			fmt.Sprintf("%.1f", sp.RanksPerSecond), fmt.Sprintf("%.1f", pred),
-			fmt.Sprintf("%.3f", wave.RelativeError(sp.RanksPerSecond, pred))})
+		return dirOut{
+			line: fmt.Sprintf("%-14s d=2 rendezvous: %.0f ranks/s (Eq.2: %.0f)", dir, sp.RanksPerSecond, pred),
+			dataRow: []string{dir.String(),
+				fmt.Sprintf("%.1f", sp.RanksPerSecond), fmt.Sprintf("%.1f", pred),
+				fmt.Sprintf("%.3f", wave.RelativeError(sp.RanksPerSecond, pred))},
+			speed: sp.RanksPerSecond,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	ratio := speeds[topology.Bidirectional] / speeds[topology.Unidirectional]
+	for _, o := range outs {
+		rep.Lines = append(rep.Lines, o.line)
+		rep.Data = append(rep.Data, o.dataRow)
+	}
+	ratio := outs[1].speed / outs[0].speed
 	rep.finding("bidirectional/unidirectional speed ratio = %.2f (paper: 2.0)", ratio)
 	return rep, nil
 }

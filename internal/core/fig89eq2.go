@@ -5,9 +5,11 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/mpisim"
 	"repro/internal/noise"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/viz"
 	"repro/internal/wave"
@@ -36,39 +38,65 @@ func runFig8(opts Options) (*Report, error) {
 		viz.FormatTime(delay), ranks, runs)
 	rep.Data = [][]string{{"system", "E_pct", "beta_median_us_per_rank", "beta_min", "beta_max"}}
 
+	// The full machine x noise-level x repetition grid fans out through
+	// the sweep engine in one flat job list. Every job builds its own
+	// injectors: a natural-noise stream derived from the job index and
+	// the injected-noise stream the original serial loop used, so the
+	// grid is reproducible at any worker count.
+	grid, err := sweep.NewGrid(len(machines), len(levels), runs)
+	if err != nil {
+		return nil, err
+	}
+	type decayPoint struct {
+		beta float64
+		ok   bool
+	}
+	points, err := sweep.Map(opts.Workers, grid.Size(), func(job int) (decayPoint, error) {
+		c := grid.Coords(job)
+		m, e, run := machines[c[0]], levels[c[1]], c[2]
+		natural, err := m.NaturalNoise(jobSeed(opts.Seed, job))
+		if err != nil {
+			return decayPoint{}, err
+		}
+		seed := opts.Seed + uint64(run)*1000 + uint64(e*1e4)
+		injected := noise.Exponential(seed, e, stdTexec)
+		b := workload.BulkSync{
+			Chain:      chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
+			Steps:      steps,
+			Texec:      stdTexec,
+			Bytes:      8192,
+			Injections: []noise.Injection{injection(0, 2, delay)},
+		}
+		res, err := bulkRun(m, b, noise.Combine(natural, injected))
+		if err != nil {
+			return decayPoint{}, err
+		}
+		f := wave.TrackFront(res.Traces, 0, true, waveThreshold())
+		dec, err := wave.Decay(f)
+		if err != nil {
+			// No measurable decay on this run; the point is skipped in
+			// the per-level statistics, as in the serial version.
+			return decayPoint{}, nil
+		}
+		return decayPoint{beta: dec.RatePerRank.Micros(), ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type series struct {
 		name   string
 		points []stats.MedianMinMax
 	}
 	var all []series
-	for _, m := range machines {
+	for mi, m := range machines {
 		s := series{name: m.Name}
-		natural, err := m.NaturalNoise(opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range levels {
+		for li, e := range levels {
 			var betas []float64
 			for run := 0; run < runs; run++ {
-				seed := opts.Seed + uint64(run)*1000 + uint64(e*1e4)
-				injected := noise.Exponential(seed, e, stdTexec)
-				b := workload.BulkSync{
-					Chain:      chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
-					Steps:      steps,
-					Texec:      stdTexec,
-					Bytes:      8192,
-					Injections: []noise.Injection{injection(0, 2, delay)},
+				if p := points[grid.Index(mi, li, run)]; p.ok {
+					betas = append(betas, p.beta)
 				}
-				res, err := bulkRun(m, b, noise.Combine(natural, injected))
-				if err != nil {
-					return nil, err
-				}
-				f := wave.TrackFront(res.Traces, 0, true, waveThreshold())
-				dec, err := wave.Decay(f)
-				if err != nil {
-					continue
-				}
-				betas = append(betas, dec.RatePerRank.Micros())
 			}
 			d := stats.Describe(betas)
 			s.points = append(s.points, d)
@@ -121,10 +149,6 @@ func runFig9(opts Options) (*Report, error) {
 	}
 	levels := []float64{0, 0.20, 0.25}
 
-	natural, err := m.NaturalNoise(opts.Seed)
-	if err != nil {
-		return nil, err
-	}
 	rep.addf("idle wave of %s injected at rank 1, step 1; %d ranks, %d steps, texec %s, %d runs",
 		viz.FormatTime(delay), ranks, steps, viz.FormatTime(texec), runs)
 	rep.Data = [][]string{{"E_pct", "total_ms", "baseline_ms", "excess_ms", "survival_hops"}}
@@ -142,33 +166,79 @@ func runFig9(opts Options) (*Report, error) {
 		return b
 	}
 
+	// One sweep job per (level, run) pair; E=0 is deterministic without
+	// injected noise, so a single run suffices there.
+	type f9job struct{ level, run int }
+	var jobs []f9job
+	for i := range levels {
+		n := runs
+		if levels[i] == 0 {
+			n = 1
+		}
+		for run := 0; run < n; run++ {
+			jobs = append(jobs, f9job{i, run})
+		}
+	}
+	type f9point struct {
+		excess, total, baseline float64
+		survival                int
+	}
+	points, err := sweep.Map(opts.Workers, len(jobs), func(job int) (f9point, error) {
+		i, run := jobs[job].level, jobs[job].run
+		e := levels[i]
+		// Excess runtime is the difference of two run maxima, a noisy
+		// quantity: average over runs with paired noise streams. Each of
+		// the two sub-runs gets a freshly built injector pair from the
+		// same seeds, so perturbed and baseline see identical noise.
+		noiseFn := func() (mpisim.NoiseFunc, error) {
+			natural, err := m.NaturalNoise(jobSeed(opts.Seed, job))
+			if err != nil {
+				return nil, err
+			}
+			return noise.Combine(natural, noise.Exponential(opts.Seed+uint64(i*runs+run)+77, e, texec)), nil
+		}
+		nf, err := noiseFn()
+		if err != nil {
+			return f9point{}, err
+		}
+		perturbed, err := bulkRun(m, build(true), nf)
+		if err != nil {
+			return f9point{}, err
+		}
+		if nf, err = noiseFn(); err != nil {
+			return f9point{}, err
+		}
+		baseline, err := bulkRun(m, build(false), nf)
+		if err != nil {
+			return f9point{}, err
+		}
+		f := wave.TrackFront(perturbed.Traces, 1, true, texec/2)
+		return f9point{
+			excess:   float64(wave.MeanLag(perturbed.Traces, baseline.Traces)),
+			total:    float64(perturbed.End),
+			baseline: float64(baseline.End),
+			survival: f.Reach(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var excess0, excessHi float64
 	for i, e := range levels {
-		// Excess runtime is the difference of two run maxima, a noisy
-		// quantity: average over runs with paired noise streams.
 		var excSum stats.Summary
 		var totSum, baseSum stats.Summary
 		survival := 0
-		for run := 0; run < runs; run++ {
-			injected := noise.Exponential(opts.Seed+uint64(i*runs+run)+77, e, texec)
-			noiseFn := noise.Combine(natural, injected)
-			perturbed, err := bulkRun(m, build(true), noiseFn)
-			if err != nil {
-				return nil, err
+		for job, jd := range jobs {
+			if jd.level != i {
+				continue
 			}
-			baseline, err := bulkRun(m, build(false), noiseFn)
-			if err != nil {
-				return nil, err
-			}
-			excSum.Add(float64(wave.MeanLag(perturbed.Traces, baseline.Traces)))
-			totSum.Add(float64(perturbed.End))
-			baseSum.Add(float64(baseline.End))
-			f := wave.TrackFront(perturbed.Traces, 1, true, texec/2)
-			if s := f.Reach(); s > survival {
-				survival = s
-			}
-			if e == 0 {
-				break // deterministic without injected noise
+			p := points[job]
+			excSum.Add(p.excess)
+			totSum.Add(p.total)
+			baseSum.Add(p.baseline)
+			if p.survival > survival {
+				survival = p.survival
 			}
 		}
 		excess := excSum.Mean()
@@ -217,8 +287,12 @@ func runEq2(opts Options) (*Report, error) {
 		}
 	}
 	rep.Data = [][]string{{"d", "direction", "protocol", "measured", "predicted", "rel_err"}}
-	worst := 0.0
-	for _, c := range cases {
+	type eq2Out struct {
+		dataRow []string
+		relErr  float64
+	}
+	outs, err := sweep.Map(opts.Workers, len(cases), func(job int) (eq2Out, error) {
+		c := cases[job]
 		rendezvous := c.bytes > m.EagerLimit
 		// The chain must be long enough for the front (sigma*d ranks per
 		// step) to be observable over `depth` steps in each direction.
@@ -234,12 +308,12 @@ func runEq2(opts Options) (*Report, error) {
 		}
 		res, err := bulkRun(m, b, nil)
 		if err != nil {
-			return nil, err
+			return eq2Out{}, err
 		}
 		f := wave.TrackFront(res.Traces, n/2, false, waveThreshold())
 		sp, err := wave.Speed(f)
 		if err != nil {
-			return nil, err
+			return eq2Out{}, err
 		}
 		sigma := wave.Sigma(c.dir == topology.Bidirectional, rendezvous)
 		// Tcomm counts all messages a rank exchanges... Eq. 2 uses the
@@ -247,16 +321,26 @@ func runEq2(opts Options) (*Report, error) {
 		// overlap on a non-blocking fabric, so one transfer time governs.
 		pred := wave.SilentSpeed(sigma, c.d, stdTexec, commTime(m, c.bytes))
 		relErr := wave.RelativeError(sp.RanksPerSecond, pred)
-		if relErr > worst {
-			worst = relErr
-		}
 		proto := "eager"
 		if rendezvous {
 			proto = "rendezvous"
 		}
-		rep.Data = append(rep.Data, []string{fmt.Sprint(c.d), c.dir.String(), proto,
-			fmt.Sprintf("%.1f", sp.RanksPerSecond), fmt.Sprintf("%.1f", pred),
-			fmt.Sprintf("%.3f", relErr)})
+		return eq2Out{
+			dataRow: []string{fmt.Sprint(c.d), c.dir.String(), proto,
+				fmt.Sprintf("%.1f", sp.RanksPerSecond), fmt.Sprintf("%.1f", pred),
+				fmt.Sprintf("%.3f", relErr)},
+			relErr: relErr,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	worst := 0.0
+	for _, o := range outs {
+		rep.Data = append(rep.Data, o.dataRow)
+		if o.relErr > worst {
+			worst = o.relErr
+		}
 	}
 	var tbl strings.Builder
 	if err := viz.Table(&tbl, rep.Data); err != nil {

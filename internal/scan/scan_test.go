@@ -1,0 +1,115 @@
+package scan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+// serialReference reimplements the original (pre-engine) noisescan main
+// loop verbatim for one machine. The scan package must keep producing
+// exactly this output: it is the CLI's regression contract.
+func serialReference(t *testing.T, m cluster.Machine, phases, bins int, seed uint64) string {
+	t.Helper()
+	var b strings.Builder
+	div := model.DividePhase{DivideCycles: 28, ClockHz: 2.2e9}
+	n, err := div.InstructionsFor(sim.Milli(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "machine %s: %d divide instructions per 3 ms phase, %d phases\n",
+		m.Name, n, phases)
+	if m.NoiseProfile == nil {
+		b.WriteString("machine is noise-free; nothing to scan\n")
+		return b.String()
+	}
+	xs, err := m.NoiseProfile.Sample(seed, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum stats.Summary
+	for _, x := range xs {
+		sum.Add(x.Micros())
+	}
+	fmt.Fprintf(&b, "deviation from ideal phase duration: mean %.2f us, max %.1f us\n",
+		sum.Mean(), sum.Max())
+	h, err := stats.NewHistogram(0, sum.Max()*1.05, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		h.Add(x.Micros())
+	}
+	if err := viz.Histogram(&b, h, 50, "us"); err != nil {
+		t.Fatal(err)
+	}
+	peaks := h.Peaks(phases / 500)
+	fmt.Fprintf(&b, "detected %d population peak(s)\n", len(peaks))
+	for _, p := range peaks {
+		fmt.Fprintf(&b, "  peak near %.1f us\n", p)
+	}
+	return b.String()
+}
+
+func TestOutputUnchangedAfterEngineRefactor(t *testing.T) {
+	for _, m := range cluster.All() {
+		got, err := Run(Config{
+			Machines: []cluster.Machine{m},
+			Phases:   20000, Bins: 50, Seed: 42,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		want := serialReference(t, m, 20000, 50, 42)
+		if got != want {
+			t.Errorf("%s: engine output differs from serial reference:\n--- got\n%s--- want\n%s",
+				m.Name, got, want)
+		}
+	}
+}
+
+func TestMultiMachineDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := Config{Machines: cluster.All(), Phases: 15000, Bins: 40, Seed: 7}
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The multi-machine report is the concatenation of the per-machine
+	// serial sections, in request order.
+	var want strings.Builder
+	for _, m := range cfg.Machines {
+		want.WriteString(serialReference(t, m, cfg.Phases, cfg.Bins, cfg.Seed))
+	}
+	if serial != want.String() {
+		t.Errorf("multi-machine report is not the ordered concatenation of sections")
+	}
+	for _, workers := range []int{3, 8, 0} {
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != serial {
+			t.Errorf("workers=%d output differs from workers=1", workers)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Phases: 10, Bins: 10}); err == nil {
+		t.Error("no machines accepted")
+	}
+	if _, err := Run(Config{Machines: cluster.All(), Bins: 10}); err == nil {
+		t.Error("zero phases accepted")
+	}
+	if _, err := Run(Config{Machines: cluster.All(), Phases: 10}); err == nil {
+		t.Error("zero bins accepted")
+	}
+}

@@ -1,0 +1,241 @@
+// Package sweep is the concurrent parameter-sweep engine behind every
+// grid experiment in the repository: the paper's figure reproductions
+// (internal/core), the noisescan CLI and the public idlewave.Sweep API
+// all fan their scenario grids out through it.
+//
+// The engine makes one promise that everything else leans on:
+// determinism. Map runs its jobs on a pool of worker goroutines but
+// returns results ordered by job index, and nothing a job computes may
+// depend on which worker ran it or in which order jobs finished. As
+// long as each job derives its random streams from the job's identity
+// (index or grid coordinates) — never from shared mutable state — a
+// fixed-seed sweep produces byte-identical output at any worker count.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values below 1 mean "use
+// all available parallelism" (GOMAXPROCS), and the count never exceeds
+// the number of jobs.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(0), fn(1), ... fn(n-1) on a pool of workers goroutines
+// (workers < 1 selects GOMAXPROCS) and returns the results in job-index
+// order. Jobs are handed out dynamically, so long and short jobs mix
+// freely; ordering is restored on collection.
+//
+// If any jobs fail, Map returns the error of the failing job with the
+// lowest index — independent of scheduling — alongside a nil slice.
+// All jobs are always executed; there is no early cancellation, which
+// keeps side-effect-free jobs reproducible.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative job count %d", n)
+	}
+	if n == 0 {
+		return []T{}, nil
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil job function")
+	}
+	workers = Workers(workers, n)
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+						}
+					}()
+					results[i], errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Grid enumerates the cartesian product of several axes in row-major
+// order (the last axis varies fastest), mapping a flat job index to the
+// per-axis coordinates and back. It carries only the axis lengths; what
+// a coordinate means is the caller's business.
+type Grid struct {
+	dims []int
+	size int
+}
+
+// NewGrid builds a grid over axes of the given lengths. Every length
+// must be at least 1.
+func NewGrid(dims ...int) (Grid, error) {
+	size := 1
+	for i, d := range dims {
+		if d < 1 {
+			return Grid{}, fmt.Errorf("sweep: grid axis %d has length %d, want >= 1", i, d)
+		}
+		size *= d
+	}
+	return Grid{dims: append([]int(nil), dims...), size: size}, nil
+}
+
+// Size returns the total number of grid points.
+func (g Grid) Size() int { return g.size }
+
+// Axes returns the number of axes.
+func (g Grid) Axes() int { return len(g.dims) }
+
+// Coords decodes a flat job index into per-axis coordinates.
+func (g Grid) Coords(i int) []int {
+	if i < 0 || i >= g.size {
+		panic(fmt.Sprintf("sweep: grid index %d out of range [0,%d)", i, g.size))
+	}
+	out := make([]int, len(g.dims))
+	for a := len(g.dims) - 1; a >= 0; a-- {
+		out[a] = i % g.dims[a]
+		i /= g.dims[a]
+	}
+	return out
+}
+
+// Index encodes per-axis coordinates into the flat job index.
+func (g Grid) Index(coords ...int) int {
+	if len(coords) != len(g.dims) {
+		panic(fmt.Sprintf("sweep: got %d coordinates for %d axes", len(coords), len(g.dims)))
+	}
+	i := 0
+	for a, c := range coords {
+		if c < 0 || c >= g.dims[a] {
+			panic(fmt.Sprintf("sweep: coordinate %d out of range [0,%d) on axis %d", c, g.dims[a], a))
+		}
+		i = i*g.dims[a] + c
+	}
+	return i
+}
+
+// Table is the ordered, stringly-typed result of a sweep: a header row
+// plus one row per grid point, ready for CSV/JSON emission or for
+// embedding in a core.Report's Data field.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Data renders the table in the [][]string layout used by core.Report:
+// header first, then the rows.
+func (t *Table) Data() [][]string {
+	out := make([][]string, 0, len(t.Rows)+1)
+	out = append(out, t.Header)
+	return append(out, t.Rows...)
+}
+
+// WriteCSV emits the table as RFC-4180-style CSV (fields containing
+// commas, quotes or newlines are quoted). Each row is built in memory
+// and written with a single call, so an unbuffered sink costs one
+// write per line, not per cell.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(row []string) error {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("sweep: row has %d cells, header has %d", len(row), len(t.Header))
+		}
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the table as a JSON array of objects, one per row,
+// keyed by the header names. Key order follows the header.
+func (t *Table) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("sweep: row %d has %d cells, header has %d", i, len(row), len(t.Header))
+		}
+		var b strings.Builder
+		b.WriteString("  {")
+		for j, cell := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			k, err := json.Marshal(t.Header[j])
+			if err != nil {
+				return err
+			}
+			v, err := json.Marshal(cell)
+			if err != nil {
+				return err
+			}
+			b.Write(k)
+			b.WriteString(": ")
+			b.Write(v)
+		}
+		b.WriteString("}")
+		if i < len(t.Rows)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

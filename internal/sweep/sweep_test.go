@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got, err := Map(workers, 100, func(i int) (int, error) {
+			// Stagger finish order: later jobs finish first.
+			time.Sleep(time.Duration(100-i) * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := Map(workers, 37, func(i int) (string, error) {
+			return fmt.Sprintf("job-%03d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	one := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); strings.Join(got, ";") != strings.Join(one, ";") {
+			t.Errorf("workers=%d produced different results than workers=1", w)
+		}
+	}
+}
+
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	var calls [50]atomic.Int32
+	_, err := Map(4, 50, func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(8, 20, func(i int) (int, error) {
+		if i == 7 || i == 13 {
+			return 0, fmt.Errorf("job %d: %w", i, sentinel)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not wrap sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "job 7") {
+		t.Errorf("error %v, want the lowest failing index (7)", err)
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	_, err := Map(2, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("panic not converted to error: %v", err)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("n=0: %v, %v", out, err)
+	}
+	if _, err := Map(4, -1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Map[int](4, 3, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(4, 100); w != 4 {
+		t.Errorf("Workers(4,100) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8,3) = %d, want clamp to job count", w)
+	}
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0,100) = %d, want >= 1", w)
+	}
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	g, err := NewGrid(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 24 || g.Axes() != 3 {
+		t.Fatalf("size=%d axes=%d", g.Size(), g.Axes())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < g.Size(); i++ {
+		c := g.Coords(i)
+		if g.Index(c...) != i {
+			t.Errorf("Index(Coords(%d)) = %d", i, g.Index(c...))
+		}
+		key := fmt.Sprint(c)
+		if seen[key] {
+			t.Errorf("duplicate coords %v", c)
+		}
+		seen[key] = true
+	}
+	// Row-major: last axis fastest.
+	if c := g.Coords(1); c[2] != 1 || c[0] != 0 || c[1] != 0 {
+		t.Errorf("Coords(1) = %v, want [0 0 1]", c)
+	}
+	if _, err := NewGrid(3, 0); err == nil {
+		t.Error("zero-length axis accepted")
+	}
+}
+
+func TestTableEmitters(t *testing.T) {
+	tbl := Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {"2", `say "hi"`}},
+	}
+
+	ragged := Table{Header: []string{"a", "b"}, Rows: [][]string{{"too", "many", "cells"}}}
+	if err := ragged.WriteCSV(&strings.Builder{}); err == nil {
+		t.Error("WriteCSV accepted a ragged row")
+	}
+
+	var csv strings.Builder
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
+	if csv.String() != wantCSV {
+		t.Errorf("CSV = %q, want %q", csv.String(), wantCSV)
+	}
+
+	var jsn strings.Builder
+	if err := tbl.WriteJSON(&jsn); err != nil {
+		t.Fatal(err)
+	}
+	want := "[\n  {\"a\": \"1\", \"b\": \"x,y\"},\n  {\"a\": \"2\", \"b\": \"say \\\"hi\\\"\"}\n]\n"
+	if jsn.String() != want {
+		t.Errorf("JSON = %q, want %q", jsn.String(), want)
+	}
+
+	data := tbl.Data()
+	if len(data) != 3 || data[0][0] != "a" || data[2][0] != "2" {
+		t.Errorf("Data() = %v", data)
+	}
+}

@@ -1,0 +1,304 @@
+package idlewave
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sweep"
+	"repro/internal/topology"
+)
+
+// Direction selects unidirectional or bidirectional neighbor exchange
+// (re-exported so sweep axes can be built over it).
+type Direction = topology.Direction
+
+// Boundary selects open or periodic chain ends.
+type Boundary = topology.Boundary
+
+// SweepAxis varies one scenario parameter across a sweep grid. Apply
+// mutates a copy of the base spec for grid coordinate i on this axis;
+// Labels[i] names that value in the output table.
+type SweepAxis struct {
+	// Name is the output column header for this axis.
+	Name string
+	// Labels holds one human-readable value label per axis position and
+	// fixes the axis length.
+	Labels []string
+	// Apply sets position i's value on the spec.
+	Apply func(spec *ScenarioSpec, i int)
+}
+
+// NoiseAxis varies the injected noise level E.
+func NoiseAxis(levels ...float64) SweepAxis {
+	labels := make([]string, len(levels))
+	for i, e := range levels {
+		labels[i] = fmt.Sprintf("%g", e)
+	}
+	return SweepAxis{
+		Name:   "E",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.NoiseLevel = levels[i] },
+	}
+}
+
+// MessageAxis varies the message size in bytes (and thereby the
+// eager/rendezvous protocol choice).
+func MessageAxis(bytes ...int) SweepAxis {
+	labels := make([]string, len(bytes))
+	for i, b := range bytes {
+		labels[i] = fmt.Sprint(b)
+	}
+	return SweepAxis{
+		Name:   "message_bytes",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.MessageBytes = bytes[i] },
+	}
+}
+
+// DistanceAxis varies the neighbor distance d.
+func DistanceAxis(ds ...int) SweepAxis {
+	labels := make([]string, len(ds))
+	for i, d := range ds {
+		labels[i] = fmt.Sprint(d)
+	}
+	return SweepAxis{
+		Name:   "d",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.NeighborDistance = ds[i] },
+	}
+}
+
+// DirectionAxis varies the communication direction.
+func DirectionAxis(dirs ...Direction) SweepAxis {
+	labels := make([]string, len(dirs))
+	for i, d := range dirs {
+		labels[i] = d.String()
+	}
+	return SweepAxis{
+		Name:   "direction",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.Direction = dirs[i] },
+	}
+}
+
+// MachineAxis varies the simulated system.
+func MachineAxis(ms ...Machine) SweepAxis {
+	labels := make([]string, len(ms))
+	for i, m := range ms {
+		labels[i] = m.Name
+	}
+	return SweepAxis{
+		Name:   "machine",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.Machine = ms[i] },
+	}
+}
+
+// RanksAxis varies the number of ranks.
+func RanksAxis(ns ...int) SweepAxis {
+	labels := make([]string, len(ns))
+	for i, n := range ns {
+		labels[i] = fmt.Sprint(n)
+	}
+	return SweepAxis{
+		Name:   "ranks",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.Ranks = ns[i] },
+	}
+}
+
+// SeedAxis varies the random seed — the usual way to repeat every grid
+// point under independent noise streams.
+func SeedAxis(seeds ...uint64) SweepAxis {
+	labels := make([]string, len(seeds))
+	for i, s := range seeds {
+		labels[i] = fmt.Sprint(s)
+	}
+	return SweepAxis{
+		Name:   "seed",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.Seed = seeds[i] },
+	}
+}
+
+// Metric extracts one number from a finished scenario run. Fn may
+// return an error when the quantity is undefined for the scenario (for
+// example a wave speed when no wave survived); the table then records
+// NaN for that cell instead of failing the sweep.
+type Metric struct {
+	Name string
+	Fn   func(*Result) (float64, error)
+}
+
+// MetricWaveSpeed measures the wave speed in ranks/s from the given
+// source rank.
+func MetricWaveSpeed(source int) Metric {
+	return Metric{
+		Name: "speed_ranks_per_s",
+		Fn:   func(r *Result) (float64, error) { return r.WaveSpeed(source) },
+	}
+}
+
+// MetricWaveDecay measures the decay rate in seconds of amplitude per
+// rank from the given source rank.
+func MetricWaveDecay(source int) Metric {
+	return Metric{
+		Name: "decay_s_per_rank",
+		Fn:   func(r *Result) (float64, error) { return r.WaveDecay(source) },
+	}
+}
+
+// MetricTotalIdle sums the wait time of all ranks in seconds.
+func MetricTotalIdle() Metric {
+	return Metric{
+		Name: "total_idle_s",
+		Fn:   func(r *Result) (float64, error) { return r.TotalIdle(), nil },
+	}
+}
+
+// MetricQuietStep reports the first step with no wave activity (-1 if
+// waves survive to the end).
+func MetricQuietStep() Metric {
+	return Metric{
+		Name: "quiet_step",
+		Fn:   func(r *Result) (float64, error) { return float64(r.QuietStep()), nil },
+	}
+}
+
+// MetricRuntime reports the total wall-clock runtime in seconds.
+func MetricRuntime() Metric {
+	return Metric{
+		Name: "runtime_s",
+		Fn:   func(r *Result) (float64, error) { return r.End, nil },
+	}
+}
+
+// MetricEvents reports the number of simulator events executed.
+func MetricEvents() Metric {
+	return Metric{
+		Name: "events",
+		Fn:   func(r *Result) (float64, error) { return float64(r.Events), nil },
+	}
+}
+
+// SweepSpec describes a full parameter sweep: a base scenario, the axes
+// whose cartesian product forms the grid, and the metrics extracted
+// from every grid point.
+type SweepSpec struct {
+	// Base is the scenario template; each grid point starts from a copy.
+	Base ScenarioSpec
+	// Axes span the grid (row-major, last axis fastest). At least one
+	// axis is required.
+	Axes []SweepAxis
+	// Metrics are evaluated on every grid point's result. At least one
+	// metric is required.
+	Metrics []Metric
+	// Workers bounds the worker pool; 0 means GOMAXPROCS. Results are
+	// identical for any worker count.
+	Workers int
+}
+
+// SweepPoint is one evaluated grid point.
+type SweepPoint struct {
+	// Labels holds the axis value labels, one per sweep axis.
+	Labels []string
+	// Spec is the fully resolved scenario that ran.
+	Spec ScenarioSpec
+	// Values holds the metric results, one per sweep metric; NaN marks a
+	// metric that was undefined for this scenario.
+	Values []float64
+}
+
+// SweepTable is the ordered result of a Sweep: one point per grid
+// coordinate, in row-major grid order regardless of worker count.
+type SweepTable struct {
+	// Header lists the axis names followed by the metric names.
+	Header []string
+	// Points holds the evaluated grid in row-major order.
+	Points []SweepPoint
+}
+
+// Sweep fans the grid spanned by spec.Axes across a worker pool, runs
+// Simulate on every point and extracts spec.Metrics from each result.
+// The returned table is deterministic: the same spec (including Base.Seed)
+// produces identical points at any Workers setting, because every grid
+// point derives its noise streams from its own resolved ScenarioSpec
+// and shares no state with other points.
+func Sweep(spec SweepSpec) (*SweepTable, error) {
+	if len(spec.Axes) == 0 {
+		return nil, fmt.Errorf("idlewave: sweep needs at least one axis")
+	}
+	if len(spec.Metrics) == 0 {
+		return nil, fmt.Errorf("idlewave: sweep needs at least one metric")
+	}
+	dims := make([]int, len(spec.Axes))
+	for i, ax := range spec.Axes {
+		if len(ax.Labels) == 0 || ax.Apply == nil {
+			return nil, fmt.Errorf("idlewave: sweep axis %d (%s) is empty or has no Apply", i, ax.Name)
+		}
+		dims[i] = len(ax.Labels)
+	}
+	grid, err := sweep.NewGrid(dims...)
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	points, err := sweep.Map(spec.Workers, grid.Size(), func(i int) (SweepPoint, error) {
+		coords := grid.Coords(i)
+		s := spec.Base
+		labels := make([]string, len(spec.Axes))
+		for a, ax := range spec.Axes {
+			ax.Apply(&s, coords[a])
+			labels[a] = ax.Labels[coords[a]]
+		}
+		res, err := Simulate(s)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		values := make([]float64, len(spec.Metrics))
+		for mi, m := range spec.Metrics {
+			v, err := m.Fn(res)
+			if err != nil {
+				v = math.NaN()
+			}
+			values[mi] = v
+		}
+		return SweepPoint{Labels: labels, Spec: s, Values: values}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	header := make([]string, 0, len(spec.Axes)+len(spec.Metrics))
+	for _, ax := range spec.Axes {
+		header = append(header, ax.Name)
+	}
+	for _, m := range spec.Metrics {
+		header = append(header, m.Name)
+	}
+	return &SweepTable{Header: header, Points: points}, nil
+}
+
+// table converts to the internal emitter representation.
+func (t *SweepTable) table() *sweep.Table {
+	tbl := &sweep.Table{Header: t.Header}
+	for _, p := range t.Points {
+		row := make([]string, 0, len(t.Header))
+		row = append(row, p.Labels...)
+		for _, v := range p.Values {
+			row = append(row, fmt.Sprintf("%g", v))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+// Rows renders the table as strings: the header row followed by one row
+// per point (axis labels, then metric values formatted with %g).
+func (t *SweepTable) Rows() [][]string { return t.table().Data() }
+
+// WriteCSV emits the table as CSV.
+func (t *SweepTable) WriteCSV(w io.Writer) error { return t.table().WriteCSV(w) }
+
+// WriteJSON emits the table as a JSON array of objects keyed by the
+// header names.
+func (t *SweepTable) WriteJSON(w io.Writer) error { return t.table().WriteJSON(w) }

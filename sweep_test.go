@@ -1,0 +1,189 @@
+package idlewave
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dampingSweep is the shared fixed-seed grid used by the determinism
+// tests and the scaling benchmarks: noise level x message size on a
+// bidirectional ring with one injected delay.
+func dampingSweep(workers int) SweepSpec {
+	return SweepSpec{
+		Base: ScenarioSpec{
+			Ranks: 24, Steps: 26,
+			Machine:   Simulated(),
+			Delay:     []Injection{Inject(0, 2, 15*time.Millisecond)},
+			Direction: Bidirectional,
+			Boundary:  Periodic,
+			Seed:      42,
+		},
+		Axes: []SweepAxis{
+			NoiseAxis(0, 0.02, 0.05, 0.10),
+			MessageAxis(8192, 262144),
+		},
+		Metrics: []Metric{MetricWaveDecay(0), MetricTotalIdle(), MetricRuntime()},
+		Workers: workers,
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	render := func(workers int) string {
+		tbl, err := Sweep(dampingSweep(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		if err := tbl.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	for _, w := range []int{2, 8, 0} {
+		if got := render(w); got != serial {
+			t.Errorf("workers=%d output differs from workers=1:\n--- workers=1\n%s--- workers=%d\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
+func TestSweepGridOrderAndShape(t *testing.T) {
+	tbl, err := Sweep(dampingSweep(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := []string{"E", "message_bytes", "decay_s_per_rank", "total_idle_s", "runtime_s"}
+	if strings.Join(tbl.Header, ",") != strings.Join(wantHeader, ",") {
+		t.Errorf("header = %v, want %v", tbl.Header, wantHeader)
+	}
+	if len(tbl.Points) != 8 {
+		t.Fatalf("points = %d, want 4x2", len(tbl.Points))
+	}
+	// Row-major order: message_bytes (last axis) varies fastest.
+	if tbl.Points[0].Labels[1] != "8192" || tbl.Points[1].Labels[1] != "262144" {
+		t.Errorf("first two points %v, %v: last axis not fastest",
+			tbl.Points[0].Labels, tbl.Points[1].Labels)
+	}
+	if tbl.Points[0].Labels[0] != "0" || tbl.Points[2].Labels[0] != "0.02" {
+		t.Errorf("E axis labels off: %v, %v", tbl.Points[0].Labels, tbl.Points[2].Labels)
+	}
+	// Physics sanity: decay rate at E=10% must exceed the silent rate
+	// (noise damps the wave), for the eager column.
+	silent := tbl.Points[0].Values[0]
+	noisy := tbl.Points[6].Values[0]
+	if !(noisy > silent) {
+		t.Errorf("decay at E=0.10 (%g) not above silent decay (%g)", noisy, silent)
+	}
+	// Resolved specs carry the applied axis values.
+	if tbl.Points[7].Spec.NoiseLevel != 0.10 || tbl.Points[7].Spec.MessageBytes != 262144 {
+		t.Errorf("resolved spec not updated: %+v", tbl.Points[7].Spec)
+	}
+}
+
+func TestSweepUndefinedMetricYieldsNaN(t *testing.T) {
+	// No injected delay: there is no wave, so WaveSpeed has nothing to
+	// track and must come back as NaN without failing the sweep.
+	tbl, err := Sweep(SweepSpec{
+		Base:    ScenarioSpec{Ranks: 8, Steps: 6, Machine: Simulated()},
+		Axes:    []SweepAxis{RanksAxis(8)},
+		Metrics: []Metric{MetricWaveSpeed(0), MetricRuntime()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(tbl.Points[0].Values[0]) {
+		t.Errorf("speed without a wave = %g, want NaN", tbl.Points[0].Values[0])
+	}
+	if tbl.Points[0].Values[1] <= 0 {
+		t.Errorf("runtime = %g, want > 0", tbl.Points[0].Values[1])
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(SweepSpec{Metrics: []Metric{MetricRuntime()}}); err == nil {
+		t.Error("sweep without axes accepted")
+	}
+	if _, err := Sweep(SweepSpec{Axes: []SweepAxis{NoiseAxis(0)}}); err == nil {
+		t.Error("sweep without metrics accepted")
+	}
+	if _, err := Sweep(SweepSpec{
+		Axes:    []SweepAxis{{Name: "broken"}},
+		Metrics: []Metric{MetricRuntime()},
+	}); err == nil {
+		t.Error("empty axis accepted")
+	}
+	// A simulation error on any grid point fails the whole sweep.
+	if _, err := Sweep(SweepSpec{
+		Base:    ScenarioSpec{Ranks: 0, Steps: 5},
+		Axes:    []SweepAxis{NoiseAxis(0, 0.1)},
+		Metrics: []Metric{MetricRuntime()},
+	}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestSweepEmitters(t *testing.T) {
+	tbl, err := Sweep(SweepSpec{
+		Base: ScenarioSpec{
+			Ranks: 10, Steps: 8,
+			Machine: Simulated(),
+			Delay:   []Injection{Inject(5, 1, 12*time.Millisecond)},
+		},
+		Axes:    []SweepAxis{DistanceAxis(1, 2), DirectionAxis(Unidirectional, Bidirectional)},
+		Metrics: []Metric{MetricTotalIdle()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d, want header + 4 rows:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "d,direction,total_idle_s" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,unidirectional,") {
+		t.Errorf("CSV row 1 = %q", lines[1])
+	}
+
+	var jsn strings.Builder
+	if err := tbl.WriteJSON(&jsn); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsn.String(), `"direction": "bidirectional"`) {
+		t.Errorf("JSON missing direction field:\n%s", jsn.String())
+	}
+	rows := tbl.Rows()
+	if len(rows) != 5 || rows[0][0] != "d" {
+		t.Errorf("Rows() = %v", rows)
+	}
+}
+
+// BenchmarkSweepWorkers1 is the serial baseline for the engine's
+// scaling claim; compare with BenchmarkSweepWorkersMax.
+func BenchmarkSweepWorkers1(b *testing.B) {
+	benchSweep(b, 1)
+}
+
+// BenchmarkSweepWorkersMax runs the same fixed-seed grid with a
+// GOMAXPROCS-wide pool; on an N-core runner the speedup over
+// BenchmarkSweepWorkers1 is near-linear until N exceeds the grid size.
+func BenchmarkSweepWorkersMax(b *testing.B) {
+	benchSweep(b, 0)
+}
+
+func benchSweep(b *testing.B, workers int) {
+	spec := dampingSweep(workers)
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
