@@ -176,7 +176,7 @@ func benchWave(b *testing.B, mode mpisim.ProgressMode) float64 {
 		b.Fatal(err)
 	}
 	wl := workload.BulkSync{
-		Chain: chain, Steps: 14, Texec: texec, Bytes: 1 << 18,
+		Topo: chain, Steps: 14, Texec: texec, Bytes: 1 << 18,
 		Injections: []noise.Injection{{Rank: n / 2, Step: 1, Duration: 5 * texec}},
 	}
 	progs, err := wl.Programs()
@@ -193,7 +193,7 @@ func benchWave(b *testing.B, mode mpisim.ProgressMode) float64 {
 		if err != nil {
 			b.Fatal(err)
 		}
-		f := wave.TrackFront(res.Traces, n/2, false, texec/2)
+		f := wave.TrackFront(res.Traces, chain, n/2, texec/2)
 		sp, err := wave.Speed(f)
 		if err != nil {
 			b.Fatal(err)
@@ -254,7 +254,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	wl := workload.BulkSync{Chain: chain, Steps: 100, Texec: sim.Milli(3), Bytes: 8192}
+	wl := workload.BulkSync{Topo: chain, Steps: 100, Texec: sim.Milli(3), Bytes: 8192}
 	progs, err := wl.Programs()
 	if err != nil {
 		b.Fatal(err)

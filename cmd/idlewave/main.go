@@ -1,5 +1,5 @@
-// Command idlewave runs a single idle-wave reproduction experiment and
-// prints its report.
+// Command idlewave runs a single idle-wave reproduction experiment — or
+// an ad-hoc scenario on an arbitrary topology — and prints its report.
 //
 // Usage:
 //
@@ -7,6 +7,13 @@
 //	idlewave -exp fig4
 //	idlewave -exp fig8 -seed 7 -full
 //	idlewave -exp fig5 -csv
+//	idlewave -topology grid:16x16:periodic -steps 24 -delay 15ms
+//	idlewave -topology chain:32:periodic:uni -steps 20 -timeline
+//
+// The -topology flag (chain:<n>[:opts], grid:<e1>x<e2>[x...][:opts],
+// torus:<dims>[:opts]; opts are open, periodic, uni, bi, d=<k>) runs a
+// one-off bulk-synchronous scenario through the public API instead of a
+// named figure reproduction, and reports the tracked wave front.
 package main
 
 import (
@@ -14,7 +21,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro"
 	"repro/internal/core"
 )
 
@@ -26,6 +35,15 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep-engine worker pool size (0 = all cores)")
 		csv     = flag.Bool("csv", false, "print the data rows as CSV instead of the report")
 		list    = flag.Bool("list", false, "list available experiments")
+
+		topoSpec = flag.String("topology", "", "run an ad-hoc scenario on this topology (e.g. grid:16x16:periodic) instead of -exp")
+		steps    = flag.Int("steps", 24, "ad-hoc scenario: time steps")
+		bytes    = flag.Int("bytes", 8192, "ad-hoc scenario: message size per neighbor")
+		noiseE   = flag.Float64("E", 0, "ad-hoc scenario: injected noise level")
+		delayAt  = flag.Int("delay-rank", -1, "ad-hoc scenario: delayed rank (-1 = topology center)")
+		delaySt  = flag.Int("delay-step", 1, "ad-hoc scenario: delayed step")
+		delayDur = flag.Duration("delay", 15*time.Millisecond, "ad-hoc scenario: injected delay (0 = none)")
+		timeline = flag.Bool("timeline", false, "ad-hoc scenario: render the rank-over-time timeline")
 	)
 	flag.Parse()
 
@@ -36,8 +54,20 @@ func main() {
 		}
 		return
 	}
+	if *topoSpec != "" {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "idlewave: -exp and -topology are mutually exclusive (a named figure reproduction fixes its own topology)")
+			os.Exit(2)
+		}
+		if err := runScenario(*topoSpec, *steps, *bytes, *delayAt, *delaySt,
+			*delayDur, *noiseE, *seed, *timeline); err != nil {
+			fmt.Fprintf(os.Stderr, "idlewave: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "idlewave: pick an experiment with -exp (see -list)")
+		fmt.Fprintln(os.Stderr, "idlewave: pick an experiment with -exp (see -list) or a scenario with -topology")
 		os.Exit(2)
 	}
 	rep, err := core.Run(*exp, core.Options{Seed: *seed, Quick: !*full, Workers: *workers})
@@ -52,4 +82,53 @@ func main() {
 		return
 	}
 	fmt.Print(rep.String())
+}
+
+// runScenario simulates one ad-hoc bulk-synchronous scenario on the
+// given topology and prints the tracked wave front.
+func runScenario(topoSpec string, steps, bytes, delayAt, delayStep int,
+	delayDur time.Duration, noiseE float64, seed uint64, timeline bool) error {
+	topo, err := idlewave.ParseTopology(topoSpec)
+	if err != nil {
+		return err
+	}
+	src := delayAt
+	if src < 0 {
+		if g, ok := topo.(idlewave.Grid); ok {
+			src = g.Center()
+		} else {
+			src = topo.Ranks() / 2
+		}
+	}
+	spec := idlewave.ScenarioSpec{
+		Topology:     topo,
+		Steps:        steps,
+		MessageBytes: bytes,
+		NoiseLevel:   noiseE,
+		Seed:         seed,
+	}
+	if delayDur > 0 {
+		spec.Delay = []idlewave.Injection{idlewave.Inject(src, delayStep, delayDur)}
+	}
+	res, err := idlewave.Simulate(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology  %s (%d ranks)\n", topo, topo.Ranks())
+	fmt.Printf("runtime   %.3f ms over %d steps (%d events)\n", res.End*1e3, steps, res.Events)
+	fmt.Printf("idle      %.3f ms total, quiet from step %d\n", res.TotalIdle()*1e3, res.QuietStep())
+	if delayDur > 0 {
+		fmt.Printf("delay     %v at rank %d, step %d\n", delayDur, src, delayStep)
+		if v, err := res.WaveSpeed(src); err == nil {
+			fmt.Printf("wave      speed %.1f hops/s", v)
+			if d, err := res.WaveDecay(src); err == nil {
+				fmt.Printf(", decay %.1f us/hop", d*1e6)
+			}
+			fmt.Println()
+		}
+	}
+	if timeline {
+		return res.RenderTimeline(os.Stdout, 100)
+	}
+	return nil
 }

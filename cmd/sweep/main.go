@@ -9,7 +9,13 @@
 //	sweep -E 0,0.02,0.05,0.1
 //	sweep -E 0,0.1 -bytes 8192,262144 -d 1,2 -dir uni,bi -format csv
 //	sweep -machine emmy,meggie -metrics speed,decay,idle -o out.csv -format csv
+//	sweep -topology grid:16x16:periodic,chain:256:periodic -E 0,0.05
 //	sweep -E 0,0.05,0.1 -bench    # engine scaling demo: serial vs parallel
+//
+// The -topology flag takes comma-separated topology specs
+// (chain:<n>[:opts], grid:<e1>x<e2>[x...][:opts], torus:<dims>[:opts];
+// opts are open, periodic, uni, bi, d=<k>) and replaces the chain-only
+// -ranks/-d/-dir/-periodic flags with a topology axis.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 		byteList = flag.String("bytes", "8192", "comma-separated message sizes in bytes")
 		dList    = flag.String("d", "1", "comma-separated neighbor distances")
 		dirList  = flag.String("dir", "bi", "comma-separated directions: uni, bi")
+		topoList = flag.String("topology", "", "comma-separated topology specs (e.g. grid:32x32:periodic); replaces -ranks/-d/-dir/-periodic")
 		machList = flag.String("machine", "emmy", "comma-separated machines: emmy, meggie, simulated, or all")
 
 		metricsF = flag.String("metrics", "speed,decay,idle,runtime", "comma-separated metrics: speed, decay, idle, quiet, runtime, events")
@@ -50,13 +57,31 @@ func main() {
 	)
 	flag.Parse()
 
+	if *topoList != "" {
+		// -topology supersedes the chain-only shape flags; reject
+		// explicit uses instead of silently running a different scenario
+		// than the flags describe.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ranks", "periodic", "d", "dir":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: -topology replaces %s; fold them into the topology spec (e.g. grid:32x32:periodic:uni:d=2)\n",
+				strings.Join(conflict, ", "))
+			os.Exit(1)
+		}
+	}
+
 	spec, err := buildSpec(specFlags{
 		ranks: *ranks, steps: *steps, texec: *texec,
 		delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
 		periodic: *periodic, seed: *seed,
 		eList: *eList, byteList: *byteList, dList: *dList,
-		dirList: *dirList, machList: *machList, metrics: *metricsF,
-		workers: *workers,
+		dirList: *dirList, topoList: *topoList, machList: *machList,
+		metrics: *metricsF, workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
@@ -118,6 +143,7 @@ type specFlags struct {
 	seed               uint64
 	eList, byteList    string
 	dList, dirList     string
+	topoList           string
 	machList, metrics  string
 	workers            int
 }
@@ -153,16 +179,30 @@ func buildSpec(f specFlags) (idlewave.SweepSpec, error) {
 		return zero, fmt.Errorf("-bytes: %w", err)
 	}
 	axes = append(axes, idlewave.MessageAxis(bytes...))
-	ds, err := parseInts(f.dList)
-	if err != nil {
-		return zero, fmt.Errorf("-d: %w", err)
+	if f.topoList != "" {
+		// An explicit topology axis supersedes the chain-only flags
+		// (main rejects explicit -ranks/-periodic/-d/-dir uses).
+		var topos []idlewave.Topology
+		for _, p := range strings.Split(f.topoList, ",") {
+			tp, err := idlewave.ParseTopology(p)
+			if err != nil {
+				return zero, fmt.Errorf("-topology: %w", err)
+			}
+			topos = append(topos, tp)
+		}
+		axes = append(axes, idlewave.TopologyAxis(topos...))
+	} else {
+		ds, err := parseInts(f.dList)
+		if err != nil {
+			return zero, fmt.Errorf("-d: %w", err)
+		}
+		axes = append(axes, idlewave.DistanceAxis(ds...))
+		dirs, err := parseDirections(f.dirList)
+		if err != nil {
+			return zero, fmt.Errorf("-dir: %w", err)
+		}
+		axes = append(axes, idlewave.DirectionAxis(dirs...))
 	}
-	axes = append(axes, idlewave.DistanceAxis(ds...))
-	dirs, err := parseDirections(f.dirList)
-	if err != nil {
-		return zero, fmt.Errorf("-dir: %w", err)
-	}
-	axes = append(axes, idlewave.DirectionAxis(dirs...))
 
 	metrics, err := parseMetrics(f.metrics, f.delayAt)
 	if err != nil {

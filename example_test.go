@@ -29,6 +29,35 @@ func ExampleSimulate() {
 	// total idle time > 0: true
 }
 
+// ExampleSimulate_grid runs a scenario on a 2-D periodic torus: the
+// delay injected at the grid center launches an idle wave that expands
+// as a Manhattan ball, one hop-distance shell per compute-communicate
+// period, until it wraps around the torus and cancels against itself.
+func ExampleSimulate_grid() {
+	torus, err := idlewave.Torus2D(8, 8) // 64 ranks, fully periodic
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := torus.Center()
+	res, err := idlewave.Simulate(idlewave.ScenarioSpec{
+		Machine:  idlewave.Simulated(),
+		Topology: torus,
+		Steps:    16,
+		Delay:    []idlewave.Injection{idlewave.Inject(src, 1, 15*time.Millisecond)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrivals := res.ShellArrivals(src)
+	fmt.Printf("shells reached: %d (max hop distance on an 8x8 torus)\n", len(arrivals)-1)
+	fmt.Printf("one shell per step: %v\n", arrivals[4] > arrivals[3] && arrivals[3] > arrivals[2])
+	fmt.Printf("waves gone from step %d\n", res.QuietStep())
+	// Output:
+	// shells reached: 8 (max hop distance on an 8x8 torus)
+	// one shell per step: true
+	// waves gone from step 9
+}
+
 // ExampleResult_WaveSpeed measures an idle wave's propagation speed and
 // checks it against the paper's Eq. 2 model prediction.
 func ExampleResult_WaveSpeed() {

@@ -1,0 +1,260 @@
+package idlewave
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// torusSmokeSpec is the shared 2-D torus smoke scenario: a one-off
+// delay injected at the center of a periodic grid on the noise-free
+// reference system.
+func torusSmokeSpec(t *testing.T, ny, nx int) (ScenarioSpec, int) {
+	t.Helper()
+	torus, err := Torus2D(ny, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := torus.Center()
+	return ScenarioSpec{
+		Machine:  Simulated(),
+		Topology: torus,
+		Steps:    24,
+		Delay:    []Injection{Inject(src, 1, 15*time.Millisecond)},
+	}, src
+}
+
+// TestSimulateTorus2DManhattanFront pins the multi-dimensional wave
+// geometry: a delay at the center of a 9x9 torus produces a front that
+// fills each Manhattan-ball shell completely, arrives shell by shell
+// in monotonically increasing time (the reach grows monotonically per
+// step), and travels at the Eq. 2 speed along each dimension.
+func TestSimulateTorus2DManhattanFront(t *testing.T) {
+	spec, src := torusSmokeSpec(t, 9, 9)
+	res, err := Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus := res.Topology().(Grid)
+
+	// Every non-source rank of the torus must be hit: the idle wave
+	// sweeps the whole Manhattan ball.
+	f := res.front(src)
+	if got, want := len(f.Samples), torus.Ranks()-1; got != want {
+		t.Fatalf("front reached %d ranks, want %d", got, want)
+	}
+
+	// Shell completeness: the number of front samples per hop distance
+	// matches the shell sizes of the torus metric.
+	shells := Shells(torus, src)
+	gotCounts := make(map[int]int)
+	for _, s := range f.Samples {
+		gotCounts[s.Hops]++
+	}
+	for h, ranks := range shells {
+		want := len(ranks)
+		if h == 0 {
+			want = 0 // the source itself never idles under eager protocols
+		}
+		if gotCounts[h] != want {
+			t.Errorf("shell %d: %d front samples, want %d", h, gotCounts[h], want)
+		}
+	}
+
+	// Monotone expansion: first arrival per shell strictly increases
+	// with hop distance, i.e. the reach grows monotonically per step.
+	arr := res.ShellArrivals(src)
+	if len(arr) != 9 { // reach of a 9x9 torus from the center is 8
+		t.Fatalf("shells tracked = %d, want 9", len(arr))
+	}
+	for h := 1; h < len(arr); h++ {
+		if arr[h] < 0 {
+			t.Fatalf("shell %d never reached", h)
+		}
+		if arr[h] <= arr[h-1] {
+			t.Errorf("front arrival not monotone: shell %d at %g s, shell %d at %g s",
+				h-1, arr[h-1], h, arr[h])
+		}
+	}
+
+	// Per-dimension speed: walking along one grid axis away from the
+	// source, consecutive arrivals are one compute-communicate period
+	// apart — the Eq. 2 silent speed (sigma=1: bidirectional eager).
+	arrival := make(map[int]float64, len(f.Samples))
+	for _, s := range f.Samples {
+		arrival[s.Rank] = float64(s.Arrival)
+	}
+	predicted := PredictSpeed(true, false, 1, 3*time.Millisecond, 10*time.Microsecond)
+	cy, cx := src/9, src%9
+	for _, dim := range []string{"y", "x"} {
+		var prev float64
+		var steps []float64
+		for off := 1; off <= 4; off++ {
+			var r int
+			if dim == "y" {
+				r = (cy+off)%9*9 + cx
+			} else {
+				r = cy*9 + (cx+off)%9
+			}
+			a, ok := arrival[r]
+			if !ok {
+				t.Fatalf("dimension %s: rank %d not reached", dim, r)
+			}
+			if off > 1 {
+				steps = append(steps, a-prev)
+			}
+			prev = a
+		}
+		for _, dt := range steps {
+			speed := 1 / dt
+			if math.Abs(speed-predicted)/predicted > 0.1 {
+				t.Errorf("dimension %s: per-hop speed %.1f hops/s, Eq.2 predicts %.1f", dim, speed, predicted)
+			}
+		}
+	}
+}
+
+// TestSimulateTorus2DWaveSpeedEq2 checks the fitted overall wave speed
+// against Eq. 2 on a larger torus.
+func TestSimulateTorus2DWaveSpeedEq2(t *testing.T) {
+	spec, src := torusSmokeSpec(t, 16, 16)
+	res, err := Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.WaveSpeed(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := PredictSpeed(true, false, 1, 3*time.Millisecond, 10*time.Microsecond)
+	if math.Abs(v-predicted)/predicted > 0.1 {
+		t.Errorf("torus wave speed %.1f hops/s, Eq.2 predicts %.1f", v, predicted)
+	}
+}
+
+// TestTorusSweepDeterministicAcrossWorkers pins the determinism
+// contract for grid scenarios: a fixed-seed sweep over topologies and
+// noise levels emits byte-identical CSV at Workers=1 and Workers=max.
+func TestTorusSweepDeterministicAcrossWorkers(t *testing.T) {
+	torus, err := Torus2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := NewChain(64, 1, Bidirectional, Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) string {
+		tbl, err := Sweep(SweepSpec{
+			Base: ScenarioSpec{
+				Machine: Simulated(),
+				Steps:   14,
+				Delay:   []Injection{Inject(0, 1, 12*time.Millisecond)},
+				Seed:    42,
+			},
+			Axes: []SweepAxis{
+				TopologyAxis(torus, chain),
+				NoiseAxis(0, 0.05),
+				SeedAxis(1, 2),
+			},
+			Metrics: []Metric{MetricWaveSpeed(0), MetricTotalIdle(), MetricRuntime()},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := build(1)
+	parallel := build(runtime.GOMAXPROCS(0))
+	if serial != parallel {
+		t.Errorf("sweep output differs between Workers=1 and Workers=max:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if serial == "" {
+		t.Fatal("empty sweep output")
+	}
+}
+
+// TestUnidirectionalTorusDirectedFront pins the eager unidirectional
+// wrap-around case on a grid: the wave travels only toward increasing
+// coordinates, so the front must be tracked with the directed metric —
+// arrivals grow monotonically with directed hops and the fitted speed
+// is positive and near Eq. 2.
+func TestUnidirectionalTorusDirectedFront(t *testing.T) {
+	torus, err := NewGrid([]int{8, 8}, 1, Unidirectional, Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := torus.Center()
+	res, err := Simulate(ScenarioSpec{
+		Machine:  Simulated(),
+		Topology: torus,
+		Steps:    28,
+		Delay:    []Injection{Inject(src, 1, 15*time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := res.ShellArrivals(src)
+	if len(arr) < 8 {
+		t.Fatalf("directed shells tracked = %d, want >= 8", len(arr))
+	}
+	for h := 2; h < len(arr); h++ {
+		if arr[h] >= 0 && arr[h-1] >= 0 && arr[h] <= arr[h-1] {
+			t.Errorf("directed front not monotone at shell %d: %g <= %g", h, arr[h], arr[h-1])
+		}
+	}
+	v, err := res.WaveSpeed(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := PredictSpeed(false, false, 1, 3*time.Millisecond, 10*time.Microsecond)
+	if v <= 0 || math.Abs(v-predicted)/predicted > 0.2 {
+		t.Errorf("uni-torus wave speed %.1f hops/s, Eq.2 predicts %.1f", v, predicted)
+	}
+}
+
+// TestScenarioSpecTopologyValidation covers the topology/Ranks
+// interplay of the public spec.
+func TestScenarioSpecTopologyValidation(t *testing.T) {
+	torus, err := Torus2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting rank count is rejected.
+	if _, err := Simulate(ScenarioSpec{Topology: torus, Ranks: 5, Steps: 3}); err == nil {
+		t.Error("conflicting Ranks accepted")
+	}
+	// Matching rank count is fine.
+	if _, err := Simulate(ScenarioSpec{Topology: torus, Ranks: 16, Steps: 3}); err != nil {
+		t.Errorf("matching Ranks rejected: %v", err)
+	}
+	// Injection outside the topology is rejected.
+	if _, err := Simulate(ScenarioSpec{
+		Topology: torus, Steps: 3,
+		Delay: []Injection{Inject(16, 0, time.Millisecond)},
+	}); err == nil {
+		t.Error("out-of-range injection accepted")
+	}
+}
+
+// TestParseTopologyRoundTrip exercises the public flag-syntax parser.
+func TestParseTopologyRoundTrip(t *testing.T) {
+	topo, err := ParseTopology("grid:16x16:periodic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Ranks() != 256 {
+		t.Errorf("ranks = %d, want 256", topo.Ranks())
+	}
+	if _, err := ParseTopology("grid:16x"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}

@@ -8,8 +8,9 @@
 //
 //   - machine descriptions (Emmy, Meggie, Simulated) with realistic
 //     communication and noise parameters;
-//   - workload builders (bulk-synchronous loops, STREAM triad, LBM,
-//     divide kernel) over chain topologies;
+//   - topologies (1-D chains, N-dimensional Cartesian grids and tori)
+//     and workload builders (bulk-synchronous loops, STREAM triad, LBM,
+//     divide kernel) over any of them;
 //   - the message-passing simulator (eager/rendezvous protocols,
 //     gated-progress rendezvous semantics, injected delays and noise,
 //     memory-bandwidth sharing);
@@ -54,6 +55,53 @@ const (
 	Periodic       = topology.Periodic
 )
 
+// Topology is the communication structure a scenario runs on: the
+// number of ranks, each rank's send/receive partners, and the hop
+// metric wave analytics fit against. Chain and Grid are the built-in
+// implementations; anything satisfying the interface (and its duality
+// and metric contracts, see internal/topology) works.
+type Topology = topology.Topology
+
+// Chain is the paper's one-dimensional process topology.
+type Chain = topology.Chain
+
+// Grid is an N-dimensional Cartesian grid or torus topology with
+// row-major rank order — the decomposition behind 2-D/3-D halo-exchange
+// workloads.
+type Grid = topology.Grid
+
+// NewChain builds a validated chain topology: n ranks, neighbor
+// distance d, unidirectional or bidirectional exchange, open or
+// periodic ends.
+func NewChain(n, d int, dir Direction, bound Boundary) (Chain, error) {
+	return topology.NewChain(n, d, dir, bound)
+}
+
+// NewGrid builds a validated N-dimensional grid topology. bounds holds
+// either one boundary for every dimension or one per dimension.
+func NewGrid(extents []int, d int, dir Direction, bounds ...Boundary) (Grid, error) {
+	return topology.NewGrid(extents, d, dir, bounds...)
+}
+
+// Torus2D builds an ny x nx fully periodic bidirectional torus with
+// neighbor distance 1 — the canonical 2-D halo-exchange topology.
+func Torus2D(ny, nx int) (Grid, error) { return topology.Torus2D(ny, nx) }
+
+// Torus3D builds an nz x ny x nx fully periodic bidirectional torus
+// with neighbor distance 1.
+func Torus3D(nz, ny, nx int) (Grid, error) { return topology.Torus3D(nz, ny, nx) }
+
+// ParseTopology builds a topology from the command-line flag syntax:
+// "chain:64", "chain:18:periodic:uni", "grid:32x32:periodic",
+// "torus:8x8x8:d=2". See cmd/sweep -topology.
+func ParseTopology(s string) (Topology, error) { return topology.Parse(s) }
+
+// Shells groups every rank of a topology by hop distance from the
+// source rank: Shells(t, s)[h] lists the ranks at distance h. On a
+// torus these are the Manhattan-ball surfaces an idle wave expands
+// through, one shell per compute-communicate period.
+func Shells(t Topology, source int) [][]int { return topology.Shells(t, source) }
+
 // Machine aliases cluster.Machine, the description of a simulated system.
 type Machine = cluster.Machine
 
@@ -78,6 +126,13 @@ func Inject(rank, step int, d time.Duration) Injection {
 type ScenarioSpec struct {
 	// Machine defaults to Emmy() when zero-valued.
 	Machine Machine
+	// Topology optionally selects the communication structure directly
+	// (a Grid/torus from NewGrid/Torus2D/Torus3D, a Chain, or any other
+	// Topology). When nil, a chain is built from Ranks,
+	// NeighborDistance, Direction and Boundary. When set, those four
+	// chain fields are ignored (Ranks, if non-zero, must agree with the
+	// topology's rank count).
+	Topology Topology
 	// Ranks is the number of processes (one per node).
 	Ranks int
 	// Steps is the number of compute-communicate time steps.
@@ -102,6 +157,27 @@ type ScenarioSpec struct {
 	Seed uint64
 }
 
+// resolveTopology returns the topology a spec runs on: the explicit
+// Topology when set, otherwise a chain built from the scalar fields.
+func (s ScenarioSpec) resolveTopology() (Topology, error) {
+	if s.Topology != nil {
+		if s.Ranks != 0 && s.Ranks != s.Topology.Ranks() {
+			return nil, fmt.Errorf("spec declares %d ranks but topology %v has %d",
+				s.Ranks, s.Topology, s.Topology.Ranks())
+		}
+		return s.Topology, nil
+	}
+	d := s.NeighborDistance
+	if d == 0 {
+		d = 1
+	}
+	c, err := topology.NewChain(s.Ranks, d, s.Direction, s.Boundary)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // Result bundles the simulation outcome with the analytics entry points.
 type Result struct {
 	// Traces is the full per-rank activity record.
@@ -112,7 +188,12 @@ type Result struct {
 	Events uint64
 
 	spec ScenarioSpec
+	topo Topology // resolved topology the scenario ran on; nil for RunProcesses
 }
+
+// Topology returns the resolved topology the scenario ran on (nil for
+// process-style runs).
+func (r *Result) Topology() Topology { return r.topo }
 
 // Simulate runs a scenario and returns its result.
 func Simulate(spec ScenarioSpec) (*Result, error) {
@@ -125,15 +206,12 @@ func Simulate(spec ScenarioSpec) (*Result, error) {
 	if spec.MessageBytes == 0 {
 		spec.MessageBytes = 8192
 	}
-	if spec.NeighborDistance == 0 {
-		spec.NeighborDistance = 1
-	}
-	chain, err := topology.NewChain(spec.Ranks, spec.NeighborDistance, spec.Direction, spec.Boundary)
+	topo, err := spec.resolveTopology()
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
 	b := workload.BulkSync{
-		Chain:      chain,
+		Topo:       topo,
 		Steps:      spec.Steps,
 		Texec:      sim.Time(spec.Texec.Seconds()),
 		Bytes:      spec.MessageBytes,
@@ -153,21 +231,24 @@ func Simulate(spec ScenarioSpec) (*Result, error) {
 	}
 	injected := noise.Exponential(spec.Seed+1, spec.NoiseLevel, sim.Time(spec.Texec.Seconds()))
 	res, err := mpisim.Run(mpisim.Config{
-		Ranks: spec.Ranks,
+		Ranks: topo.Ranks(),
 		Net:   net,
 		Noise: noise.Combine(natural, injected),
 	}, progs)
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
-	return &Result{Traces: res.Traces, End: float64(res.End), Events: res.Events, spec: spec}, nil
+	return &Result{Traces: res.Traces, End: float64(res.End), Events: res.Events, spec: spec, topo: topo}, nil
 }
 
-// WaveSpeed measures the propagation speed (ranks per second) of the idle
-// wave emanating from the given source rank.
+// WaveSpeed measures the propagation speed of the idle wave emanating
+// from the given source rank, in ranks per second on a chain and hops
+// (hop-distance shells) per second on a grid or torus.
 func (r *Result) WaveSpeed(source int) (float64, error) {
-	f := r.front(source)
-	sp, err := wave.Speed(f)
+	if r.topo == nil {
+		return 0, fmt.Errorf("idlewave: wave speed needs a topology; process-style results have none")
+	}
+	sp, err := wave.Speed(r.front(source))
 	if err != nil {
 		return 0, fmt.Errorf("idlewave: %w", err)
 	}
@@ -177,23 +258,49 @@ func (r *Result) WaveSpeed(source int) (float64, error) {
 // WaveDecay measures the idle-wave decay rate in seconds of amplitude
 // lost per rank travelled.
 func (r *Result) WaveDecay(source int) (float64, error) {
-	f := r.front(source)
-	d, err := wave.Decay(f)
+	if r.topo == nil {
+		return 0, fmt.Errorf("idlewave: wave decay needs a topology; process-style results have none")
+	}
+	d, err := wave.Decay(r.front(source))
 	if err != nil {
 		return 0, fmt.Errorf("idlewave: %w", err)
 	}
 	return float64(d.RatePerRank), nil
 }
 
+// ShellArrivals returns the wave front's first arrival time (seconds)
+// per hop-distance shell around the source rank, indexed by hop count;
+// shells the front never reached hold -1. On a healthy expanding wave
+// the arrivals grow monotonically with hop distance — on a torus the
+// shells are the surfaces of Manhattan balls. Process-style results
+// carry no topology and yield nil.
+func (r *Result) ShellArrivals(source int) []float64 {
+	if r.topo == nil {
+		return nil
+	}
+	arr := r.front(source).ShellArrivals()
+	out := make([]float64, len(arr))
+	for i, t := range arr {
+		out[i] = float64(t)
+	}
+	return out
+}
+
 // front picks the right hop metric for the scenario's communication
-// pattern.
+// pattern: an eager-protocol wave travels only in the send direction,
+// so on a unidirectional topology with wrap-around (ring or torus) the
+// front is tracked with the directed metric — the symmetric metric
+// would fold the wrapped front back onto itself. Every other pattern
+// uses the topology's own symmetric hop metric.
 func (r *Result) front(source int) wave.Front {
 	threshold := sim.Time(r.spec.Texec.Seconds()) / 2
 	eager := r.spec.MessageBytes <= r.spec.Machine.EagerLimit
-	if r.spec.Boundary == topology.Periodic && r.spec.Direction == topology.Unidirectional && eager {
-		return wave.TrackFrontForward(r.Traces, source, threshold)
+	if eager && topology.ForwardOnly(r.topo) {
+		if dt, ok := r.topo.(topology.Directed); ok {
+			return wave.TrackFrontDirected(r.Traces, dt, source, threshold)
+		}
 	}
-	return wave.TrackFront(r.Traces, source, r.spec.Boundary == topology.Periodic, threshold)
+	return wave.TrackFront(r.Traces, r.topo, source, threshold)
 }
 
 // IdleByStep returns the summed wait time of all ranks per time step, in

@@ -145,4 +145,15 @@ func TestRunProcessesWithCollectives(t *testing.T) {
 	}); err == nil {
 		t.Error("negative compute accepted through facade")
 	}
+	// Topology-bound analytics degrade gracefully on process-style
+	// results, which carry no topology.
+	if _, err := res.WaveSpeed(2); err == nil {
+		t.Error("WaveSpeed on a process-style result did not error")
+	}
+	if _, err := res.WaveDecay(2); err == nil {
+		t.Error("WaveDecay on a process-style result did not error")
+	}
+	if got := res.ShellArrivals(2); got != nil {
+		t.Errorf("ShellArrivals on a process-style result = %v, want nil", got)
+	}
 }

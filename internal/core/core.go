@@ -153,7 +153,7 @@ func bulkRun(m cluster.Machine, b workload.BulkSync, noiseFn mpisim.NoiseFunc) (
 		return nil, err
 	}
 	return mpisim.Run(mpisim.Config{
-		Ranks: b.Chain.N,
+		Ranks: b.Topo.Ranks(),
 		Net:   net,
 		Noise: noiseFn,
 	}, progs)

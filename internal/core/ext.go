@@ -125,8 +125,9 @@ func runExtHierarchy(opts Options) (*Report, error) {
 	}
 	split := &splitModel{boundary: boundary, left: fast, right: slow}
 
+	topo := chainOrDie(n, 1, topology.Unidirectional, topology.Open)
 	b := workload.BulkSync{
-		Chain:      chainOrDie(n, 1, topology.Unidirectional, topology.Open),
+		Topo:       topo,
 		Steps:      steps,
 		Texec:      texec,
 		Bytes:      8192,
@@ -143,7 +144,7 @@ func runExtHierarchy(opts Options) (*Report, error) {
 	// Slow-domain ranks wait one transfer time in every regular step;
 	// only waits clearly above that routine level belong to the wave.
 	threshold := slow.Transfer(0, 1, 8192) + texec
-	f := wave.TrackFront(res.Traces, 1, false, threshold)
+	f := wave.TrackFront(res.Traces, topo, 1, threshold)
 
 	// Fit speed separately within each domain.
 	fitSpeed := func(lo, hi int) (float64, error) {

@@ -37,8 +37,9 @@ func runFig4(opts Options) (*Report, error) {
 	rep := &Report{}
 	m := cluster.Emmy()
 	n, steps := 9, 8
+	topo := chainOrDie(n, 1, topology.Unidirectional, topology.Open)
 	b := workload.BulkSync{
-		Chain:      chainOrDie(n, 1, topology.Unidirectional, topology.Open),
+		Topo:       topo,
 		Steps:      steps,
 		Texec:      stdTexec,
 		Bytes:      8192,
@@ -54,7 +55,7 @@ func runFig4(opts Options) (*Report, error) {
 	}
 	rep.Lines = append(rep.Lines, strings.Split(strings.TrimRight(tl.String(), "\n"), "\n")...)
 
-	f := wave.TrackFront(res.Traces, 5, false, waveThreshold())
+	f := wave.TrackFront(res.Traces, topo, 5, waveThreshold())
 	sp, err := wave.Speed(f)
 	if err != nil {
 		return nil, err
@@ -119,8 +120,9 @@ func runFig5(opts Options) (*Report, error) {
 	}
 	outs, err := sweep.Map(opts.Workers, len(panels), func(job int) (panelOut, error) {
 		p := panels[job]
+		topo := chainOrDie(n, 1, p.dir, p.bound)
 		b := workload.BulkSync{
-			Chain:      chainOrDie(n, 1, p.dir, p.bound),
+			Topo:       topo,
 			Steps:      steps,
 			Texec:      stdTexec,
 			Bytes:      p.bytes,
@@ -143,7 +145,7 @@ func runFig5(opts Options) (*Report, error) {
 		if forwardOnly && p.bound == topology.Periodic {
 			f = wave.TrackFrontForward(res.Traces, 5, waveThreshold())
 		} else {
-			f = wave.TrackFront(res.Traces, 5, p.bound == topology.Periodic, waveThreshold())
+			f = wave.TrackFront(res.Traces, topo, 5, waveThreshold())
 		}
 		speed := 0.0
 		if sp, err := wave.Speed(f); err == nil {
@@ -227,7 +229,7 @@ func runFig6(opts Options) (*Report, error) {
 	outs, err := sweep.Map(opts.Workers, len(jobs), func(job int) (variantOut, error) {
 		v := jobs[job]
 		b := workload.BulkSync{
-			Chain:      chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
+			Topo:       chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
 			Steps:      steps,
 			Texec:      stdTexec,
 			Bytes:      smallMsgBytes,
@@ -298,8 +300,9 @@ func runFig7(opts Options) (*Report, error) {
 	}
 	outs, err := sweep.Map(opts.Workers, len(dirs), func(job int) (dirOut, error) {
 		dir := dirs[job]
+		topo := chainOrDie(n, 2, dir, topology.Open)
 		b := workload.BulkSync{
-			Chain:      chainOrDie(n, 2, dir, topology.Open),
+			Topo:       topo,
 			Steps:      steps,
 			Texec:      stdTexec,
 			Bytes:      largeMsgBytes,
@@ -309,7 +312,7 @@ func runFig7(opts Options) (*Report, error) {
 		if err != nil {
 			return dirOut{}, err
 		}
-		f := wave.TrackFront(res.Traces, 8, false, waveThreshold())
+		f := wave.TrackFront(res.Traces, topo, 8, waveThreshold())
 		sp, err := wave.Speed(f)
 		if err != nil {
 			return dirOut{}, err

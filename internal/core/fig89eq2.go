@@ -60,8 +60,9 @@ func runFig8(opts Options) (*Report, error) {
 		}
 		seed := opts.Seed + uint64(run)*1000 + uint64(e*1e4)
 		injected := noise.Exponential(seed, e, stdTexec)
+		topo := chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic)
 		b := workload.BulkSync{
-			Chain:      chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
+			Topo:       topo,
 			Steps:      steps,
 			Texec:      stdTexec,
 			Bytes:      8192,
@@ -71,7 +72,7 @@ func runFig8(opts Options) (*Report, error) {
 		if err != nil {
 			return decayPoint{}, err
 		}
-		f := wave.TrackFront(res.Traces, 0, true, waveThreshold())
+		f := wave.TrackFront(res.Traces, topo, 0, waveThreshold())
 		dec, err := wave.Decay(f)
 		if err != nil {
 			// No measurable decay on this run; the point is skipped in
@@ -153,9 +154,10 @@ func runFig9(opts Options) (*Report, error) {
 		viz.FormatTime(delay), ranks, steps, viz.FormatTime(texec), runs)
 	rep.Data = [][]string{{"E_pct", "total_ms", "baseline_ms", "excess_ms", "survival_hops"}}
 
+	ring := chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic)
 	build := func(withDelay bool) workload.BulkSync {
 		b := workload.BulkSync{
-			Chain: chainOrDie(ranks, 1, topology.Bidirectional, topology.Periodic),
+			Topo:  ring,
 			Steps: steps,
 			Texec: texec,
 			Bytes: 8192,
@@ -212,7 +214,7 @@ func runFig9(opts Options) (*Report, error) {
 		if err != nil {
 			return f9point{}, err
 		}
-		f := wave.TrackFront(perturbed.Traces, 1, true, texec/2)
+		f := wave.TrackFront(perturbed.Traces, ring, 1, texec/2)
 		return f9point{
 			excess:   float64(wave.MeanLag(perturbed.Traces, baseline.Traces)),
 			total:    float64(perturbed.End),
@@ -299,8 +301,9 @@ func runEq2(opts Options) (*Report, error) {
 		sigmaGuess := wave.Sigma(c.dir == topology.Bidirectional, rendezvous)
 		n := 2*sigmaGuess*c.d*depth + 3
 		steps := depth + 4
+		topo := chainOrDie(n, c.d, c.dir, topology.Open)
 		b := workload.BulkSync{
-			Chain:      chainOrDie(n, c.d, c.dir, topology.Open),
+			Topo:       topo,
 			Steps:      steps,
 			Texec:      stdTexec,
 			Bytes:      c.bytes,
@@ -310,7 +313,7 @@ func runEq2(opts Options) (*Report, error) {
 		if err != nil {
 			return eq2Out{}, err
 		}
-		f := wave.TrackFront(res.Traces, n/2, false, waveThreshold())
+		f := wave.TrackFront(res.Traces, topo, n/2, waveThreshold())
 		sp, err := wave.Speed(f)
 		if err != nil {
 			return eq2Out{}, err

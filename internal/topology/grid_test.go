@@ -1,0 +1,369 @@
+package topology
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustGrid(t *testing.T, extents []int, d int, dir Direction, bounds ...Boundary) Grid {
+	t.Helper()
+	g, err := NewGrid(extents, d, dir, bounds...)
+	if err != nil {
+		t.Fatalf("NewGrid(%v,%d,%v,%v): %v", extents, d, dir, bounds, err)
+	}
+	return g
+}
+
+func TestGridValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		extents []int
+		d       int
+		bounds  []Boundary
+	}{
+		{"no dims", nil, 1, nil},
+		{"zero extent", []int{4, 0}, 1, nil},
+		{"zero distance", []int{4, 4}, 0, nil},
+		{"periodic 2d>=extent", []int{4, 4}, 2, []Boundary{Periodic}},
+		{"boundary count mismatch", []int{4, 4}, 1, []Boundary{Open, Open, Open}},
+	}
+	for _, tc := range cases {
+		if _, err := NewGrid(tc.extents, tc.d, Bidirectional, tc.bounds...); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	if _, err := NewGrid([]int{5, 5}, 2, Bidirectional, Periodic); err != nil {
+		t.Errorf("valid periodic grid rejected: %v", err)
+	}
+	// A degenerate (extent 1) dimension is allowed even when periodic.
+	if _, err := NewGrid([]int{1, 8}, 1, Bidirectional, Periodic); err != nil {
+		t.Errorf("degenerate dimension rejected: %v", err)
+	}
+}
+
+func TestGridCoordsRoundTrip(t *testing.T) {
+	g := mustGrid(t, []int{3, 4, 5}, 1, Bidirectional)
+	if g.Ranks() != 60 {
+		t.Fatalf("Ranks = %d, want 60", g.Ranks())
+	}
+	for i := 0; i < g.Ranks(); i++ {
+		if got := g.Index(g.Coords(i)); got != i {
+			t.Fatalf("Index(Coords(%d)) = %d", i, got)
+		}
+	}
+	// Row-major: the last dimension varies fastest.
+	if c := g.Coords(1); !reflect.DeepEqual(c, []int{0, 0, 1}) {
+		t.Errorf("Coords(1) = %v, want [0 0 1]", c)
+	}
+	if c := g.Coords(5); !reflect.DeepEqual(c, []int{0, 1, 0}) {
+		t.Errorf("Coords(5) = %v, want [0 1 0]", c)
+	}
+}
+
+func TestGridCenter(t *testing.T) {
+	g := mustGrid(t, []int{16, 16}, 1, Bidirectional, Periodic)
+	if got := g.Center(); got != 8*16+8 {
+		t.Errorf("Center = %d, want %d", got, 8*16+8)
+	}
+}
+
+func TestGridNeighbors2D(t *testing.T) {
+	// 4x4 open grid, bidirectional d=1: interior rank 5 = (1,1).
+	g := mustGrid(t, []int{4, 4}, 1, Bidirectional)
+	if got := g.SendTargets(5); !reflect.DeepEqual(got, []int{9, 6, 1, 4}) {
+		t.Errorf("interior sends = %v, want [9 6 1 4] (+y +x -y -x)", got)
+	}
+	// Corner rank 0 keeps only in-range partners.
+	if got := g.SendTargets(0); !reflect.DeepEqual(got, []int{4, 1}) {
+		t.Errorf("corner sends = %v, want [4 1]", got)
+	}
+	// Periodic 4x4: corner wraps in both dimensions.
+	p := mustGrid(t, []int{4, 4}, 1, Bidirectional, Periodic)
+	if got := p.SendTargets(0); !reflect.DeepEqual(got, []int{4, 1, 12, 3}) {
+		t.Errorf("torus corner sends = %v, want [4 1 12 3]", got)
+	}
+}
+
+func TestGridDegenerateDimensionHasNoPartners(t *testing.T) {
+	g := mustGrid(t, []int{1, 6}, 1, Bidirectional, Periodic)
+	for i := 0; i < g.Ranks(); i++ {
+		for _, j := range g.SendTargets(i) {
+			if j == i {
+				t.Fatalf("rank %d sends to itself", i)
+			}
+		}
+		if len(g.SendTargets(i)) != 2 {
+			t.Fatalf("rank %d has %d partners, want 2 (ring only)", i, len(g.SendTargets(i)))
+		}
+	}
+}
+
+func TestGridOneDimensionalMatchesChain(t *testing.T) {
+	// A 1-D grid must be indistinguishable from the equivalent chain:
+	// same partners in the same order, same hop metric.
+	for _, dir := range []Direction{Unidirectional, Bidirectional} {
+		for _, b := range []Boundary{Open, Periodic} {
+			for _, d := range []int{1, 2} {
+				n := 11
+				c := mustChain(t, n, d, dir, b)
+				g := mustGrid(t, []int{n}, d, dir, b)
+				for i := 0; i < n; i++ {
+					if !reflect.DeepEqual(c.SendTargets(i), g.SendTargets(i)) {
+						t.Errorf("%v vs %v: SendTargets(%d) = %v vs %v",
+							c, g, i, c.SendTargets(i), g.SendTargets(i))
+					}
+					if !reflect.DeepEqual(c.RecvSources(i), g.RecvSources(i)) {
+						t.Errorf("%v vs %v: RecvSources(%d) differ", c, g, i)
+					}
+					for j := 0; j < n; j++ {
+						if c.HopDistance(i, j) != g.HopDistance(i, j) {
+							t.Errorf("%v vs %v: HopDistance(%d,%d) = %d vs %d",
+								c, g, i, j, c.HopDistance(i, j), g.HopDistance(i, j))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// allTopologies builds the cross product of chains and grids over every
+// direction/boundary combination — the table behind the interface
+// contract tests.
+func allTopologies(t *testing.T) []Topology {
+	t.Helper()
+	var out []Topology
+	for _, dir := range []Direction{Unidirectional, Bidirectional} {
+		for _, b := range []Boundary{Open, Periodic} {
+			for _, d := range []int{1, 2} {
+				out = append(out, mustChain(t, 13, d, dir, b))
+				out = append(out, mustGrid(t, []int{5, 6}, d, dir, b))
+				out = append(out, mustGrid(t, []int{3, 4, 5}, 1, dir, b))
+			}
+			// Mixed boundaries: one periodic, one open dimension.
+			out = append(out, mustGrid(t, []int{5, 4}, 1, dir, Periodic, b))
+		}
+	}
+	return out
+}
+
+// TestTopologyDualityProperty pins the interface contract: for every
+// topology, j ∈ SendTargets(i) ⇔ i ∈ RecvSources(j), and partner lists
+// never contain the rank itself.
+func TestTopologyDualityProperty(t *testing.T) {
+	contains := func(xs []int, v int) bool {
+		for _, x := range xs {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, topo := range allTopologies(t) {
+		n := topo.Ranks()
+		for i := 0; i < n; i++ {
+			for _, j := range topo.SendTargets(i) {
+				if j == i {
+					t.Errorf("%v: rank %d sends to itself", topo, i)
+				}
+				if !contains(topo.RecvSources(j), i) {
+					t.Errorf("%v: %d sends to %d but %d does not receive from %d",
+						topo, i, j, j, i)
+				}
+			}
+			for _, j := range topo.RecvSources(i) {
+				if !contains(topo.SendTargets(j), i) {
+					t.Errorf("%v: %d receives from %d but %d does not send to %d",
+						topo, i, j, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestTopologyHopMetricProperty pins the metric contract: HopDistance
+// is zero exactly on the diagonal, symmetric, and obeys the triangle
+// inequality — for chains and grids in every direction/boundary combo.
+func TestTopologyHopMetricProperty(t *testing.T) {
+	for _, topo := range allTopologies(t) {
+		n := topo.Ranks()
+		for a := 0; a < n; a++ {
+			if topo.HopDistance(a, a) != 0 {
+				t.Errorf("%v: HopDistance(%d,%d) != 0", topo, a, a)
+			}
+			for b := 0; b < n; b++ {
+				d := topo.HopDistance(a, b)
+				if a != b && d <= 0 {
+					t.Errorf("%v: HopDistance(%d,%d) = %d, want > 0", topo, a, b, d)
+				}
+				if back := topo.HopDistance(b, a); back != d {
+					t.Errorf("%v: asymmetric HopDistance(%d,%d): %d vs %d", topo, a, b, d, back)
+				}
+			}
+		}
+		// Triangle inequality over a subsampled triple set (full n^3 is
+		// needlessly slow for the larger tables).
+		for a := 0; a < n; a += 2 {
+			for b := 1; b < n; b += 3 {
+				for c := 0; c < n; c += 2 {
+					if topo.HopDistance(a, c) > topo.HopDistance(a, b)+topo.HopDistance(b, c) {
+						t.Fatalf("%v: triangle inequality violated for (%d,%d,%d)", topo, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridHopDistanceMatchesBFS cross-checks the analytic Manhattan
+// metric against a breadth-first search over the unit-step lattice
+// graph — the "BFS from the injection rank" definition of the wave
+// shells.
+func TestGridHopDistanceMatchesBFS(t *testing.T) {
+	grids := []Grid{
+		mustGrid(t, []int{5, 7}, 1, Bidirectional),
+		mustGrid(t, []int{5, 7}, 1, Bidirectional, Periodic),
+		mustGrid(t, []int{3, 4, 5}, 1, Bidirectional, Periodic, Open, Periodic),
+	}
+	for _, g := range grids {
+		// Unit-step neighbor graph of the same lattice (d=1 edges),
+		// regardless of g's own D/direction: the hop metric is defined
+		// on the lattice, not on the stencil.
+		unit := mustGrid(t, g.Extents, 1, Bidirectional, g.Bounds...)
+		n := g.Ranks()
+		for src := 0; src < n; src += 3 {
+			dist := make([]int, n)
+			for i := range dist {
+				dist[i] = -1
+			}
+			dist[src] = 0
+			queue := []int{src}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, nb := range unit.SendTargets(cur) {
+					if dist[nb] < 0 {
+						dist[nb] = dist[cur] + 1
+						queue = append(queue, nb)
+					}
+				}
+			}
+			for r := 0; r < n; r++ {
+				if got := g.HopDistance(src, r); got != dist[r] {
+					t.Fatalf("%v: HopDistance(%d,%d) = %d, BFS says %d", g, src, r, got, dist[r])
+				}
+			}
+		}
+	}
+}
+
+func TestDirectedHopDistance(t *testing.T) {
+	// Periodic chain: forward ring distance, asymmetric.
+	ring := mustChain(t, 10, 1, Unidirectional, Periodic)
+	if d := ring.DirectedHopDistance(8, 2); d != 4 {
+		t.Errorf("ring directed 8->2 = %d, want 4", d)
+	}
+	if d := ring.DirectedHopDistance(2, 8); d != 6 {
+		t.Errorf("ring directed 2->8 = %d, want 6", d)
+	}
+	// Open chain: backward is unreachable.
+	open := mustChain(t, 10, 1, Unidirectional, Open)
+	if d := open.DirectedHopDistance(2, 8); d != 6 {
+		t.Errorf("open directed 2->8 = %d, want 6", d)
+	}
+	if d := open.DirectedHopDistance(8, 2); d != -1 {
+		t.Errorf("open directed 8->2 = %d, want -1", d)
+	}
+	// Torus: per-dimension forward distances add up.
+	torus := mustGrid(t, []int{4, 4}, 1, Unidirectional, Periodic)
+	// (3,3) -> (0,0): one forward step in each dimension.
+	if d := torus.DirectedHopDistance(torus.Index([]int{3, 3}), 0); d != 2 {
+		t.Errorf("torus directed (3,3)->(0,0) = %d, want 2", d)
+	}
+	// Mixed boundaries: backward along the open dimension is unreachable.
+	mixed := mustGrid(t, []int{4, 4}, 1, Unidirectional, Open, Periodic)
+	if d := mixed.DirectedHopDistance(mixed.Index([]int{1, 0}), mixed.Index([]int{0, 1})); d != -1 {
+		t.Errorf("mixed directed backward-open = %d, want -1", d)
+	}
+	if d := mixed.DirectedHopDistance(mixed.Index([]int{0, 3}), mixed.Index([]int{1, 0})); d != 2 {
+		t.Errorf("mixed directed wrap = %d, want 2", d)
+	}
+	if !torus.Wraps() || mustGrid(t, []int{4, 4}, 1, Unidirectional).Wraps() {
+		t.Error("Wraps() wrong")
+	}
+}
+
+func TestShells(t *testing.T) {
+	g := mustGrid(t, []int{5, 5}, 1, Bidirectional, Periodic)
+	shells := Shells(g, g.Center())
+	// 5x5 torus: shells of sizes 1, 4, 8, 8, 4 at hops 0..4.
+	want := []int{1, 4, 8, 8, 4}
+	if len(shells) != len(want) {
+		t.Fatalf("shell count = %d, want %d", len(shells), len(want))
+	}
+	total := 0
+	for h, s := range shells {
+		if len(s) != want[h] {
+			t.Errorf("shell %d has %d ranks, want %d", h, len(s), want[h])
+		}
+		total += len(s)
+	}
+	if total != g.Ranks() {
+		t.Errorf("shells cover %d ranks, want %d", total, g.Ranks())
+	}
+}
+
+func TestGridString(t *testing.T) {
+	g := mustGrid(t, []int{16, 16}, 1, Bidirectional, Periodic)
+	if got := g.String(); got != "grid[16x16 d=1 bidirectional periodic]" {
+		t.Errorf("String = %q", got)
+	}
+	mixed := mustGrid(t, []int{4, 8}, 1, Unidirectional, Open, Periodic)
+	if got := mixed.String(); !strings.Contains(got, "open,periodic") {
+		t.Errorf("mixed-boundary String = %q", got)
+	}
+}
+
+func TestGridPanicsOnBadRank(t *testing.T) {
+	g := mustGrid(t, []int{3, 3}, 1, Bidirectional)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range rank did not panic")
+		}
+	}()
+	g.SendTargets(9)
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"chain:64", "chain[n=64 d=1 bidirectional open]"},
+		{"chain:18:periodic:uni", "chain[n=18 d=1 unidirectional periodic]"},
+		{"grid:32x32:periodic", "grid[32x32 d=1 bidirectional periodic]"},
+		{"grid:4x4", "grid[4x4 d=1 bidirectional open]"},
+		{"torus:8x8x8", "grid[8x8x8 d=1 bidirectional periodic]"},
+		{"torus:9x9:d=2", "grid[9x9 d=2 bidirectional periodic]"},
+		{"grid:16x16:periodic:uni:d=2", "grid[16x16 d=2 unidirectional periodic]"},
+	}
+	for _, tc := range cases {
+		topo, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if topo.String() != tc.want {
+			t.Errorf("Parse(%q) = %v, want %s", tc.in, topo, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"", "chain", "ring:8", "chain:4x4", "grid:0x4", "grid:4x4:diagonal",
+		"chain:8:d=0", "grid:4x4:d=x", "torus:4x4:d=2", // 2d >= extent
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

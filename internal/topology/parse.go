@@ -1,0 +1,92 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Topology from the colon-separated flag syntax used by
+// the command-line tools:
+//
+//	chain:<n>[:option...]
+//	grid:<e1>x<e2>[x<e3>...][:option...]
+//	torus:<e1>x<e2>[x<e3>...][:option...]   (grid with periodic default)
+//
+// Options, in any order:
+//
+//	open | periodic        boundary (default open; torus defaults periodic)
+//	uni | bi               direction (default bidirectional)
+//	d=<k>                  neighbor distance (default 1)
+//
+// Examples: "chain:64", "chain:18:periodic:uni", "grid:32x32:periodic",
+// "torus:8x8x8:d=2".
+func Parse(s string) (Topology, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("topology: %q: want kind:size[:option...], e.g. chain:64 or grid:32x32:periodic", s)
+	}
+	kind := strings.ToLower(strings.TrimSpace(parts[0]))
+	d := 1
+	dir := Bidirectional
+	bound := Open
+	if kind == "torus" {
+		bound = Periodic
+	}
+	for _, opt := range parts[2:] {
+		switch o := strings.ToLower(strings.TrimSpace(opt)); {
+		case o == "open":
+			bound = Open
+		case o == "periodic":
+			bound = Periodic
+		case o == "uni" || o == "unidirectional":
+			dir = Unidirectional
+		case o == "bi" || o == "bidirectional":
+			dir = Bidirectional
+		case strings.HasPrefix(o, "d="):
+			v, err := strconv.Atoi(o[2:])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("topology: %q: bad neighbor distance %q", s, opt)
+			}
+			d = v
+		default:
+			return nil, fmt.Errorf("topology: %q: unknown option %q (want open, periodic, uni, bi or d=<k>)", s, opt)
+		}
+	}
+	extents, err := parseExtents(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("topology: %q: %w", s, err)
+	}
+	switch kind {
+	case "chain":
+		if len(extents) != 1 {
+			return nil, fmt.Errorf("topology: %q: a chain has exactly one extent", s)
+		}
+		c, err := NewChain(extents[0], d, dir, bound)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	case "grid", "torus":
+		g, err := NewGrid(extents, d, dir, bound)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("topology: %q: unknown kind %q (want chain, grid or torus)", s, kind)
+	}
+}
+
+func parseExtents(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad extent %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

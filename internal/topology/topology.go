@@ -1,14 +1,95 @@
 // Package topology describes how MPI-like ranks are laid out on a cluster
 // (rank -> core/socket/node placement) and which ranks communicate with
 // which (next-neighbor shells of distance d, unidirectional or
-// bidirectional, with open or periodic chain boundaries).
+// bidirectional, with open or periodic boundaries).
 //
 // The paper's experiments all use one-dimensional process chains with
 // point-to-point next-neighbor (d=1) or next-to-next-neighbor (d=2)
-// patterns; this package generalizes to arbitrary d.
+// patterns; this package generalizes to arbitrary d and, through the
+// Topology interface, to arbitrary Cartesian grids and tori (Grid) for
+// multi-dimensional halo-exchange scenarios.
 package topology
 
 import "fmt"
+
+// Topology is the communication structure every workload builder and
+// wave-analytics consumer programs against. A topology defines a fixed
+// set of ranks 0..Ranks()-1, the deterministic per-rank send/receive
+// partner lists, and a hop metric.
+//
+// Contracts every implementation must satisfy (pinned by the property
+// tests in this package):
+//
+//   - duality: j ∈ SendTargets(i) ⇔ i ∈ RecvSources(j);
+//   - SendTargets/RecvSources return partners in a deterministic order
+//     and never include the rank itself;
+//   - HopDistance is a metric on ranks: symmetric, zero iff a == b, and
+//     obeying the triangle inequality. It is the topology's native
+//     index distance (chain distance, Manhattan distance on grids),
+//     independent of the neighbor distance d and the direction — the
+//     x-axis of every wave-front fit.
+type Topology interface {
+	// Ranks returns the number of ranks in the topology.
+	Ranks() int
+	// SendTargets returns the ranks that rank i sends to.
+	SendTargets(i int) []int
+	// RecvSources returns the ranks that rank i receives from.
+	RecvSources(i int) []int
+	// HopDistance returns the minimal index distance between two ranks,
+	// honoring periodic boundaries.
+	HopDistance(a, b int) int
+	// String describes the topology for labels and reports.
+	String() string
+}
+
+// Directed is the optional interface for topologies that can also
+// measure hop distance following the send direction only. Idle waves
+// under eager protocols travel only in the send direction, so on a
+// unidirectional topology with wrap-around (a ring, a torus) the front
+// must be tracked with this directed metric — the symmetric HopDistance
+// would fold the wrapped front back onto itself. DirectedHopDistance
+// returns -1 when the destination is unreachable along the send
+// direction (open boundaries).
+type Directed interface {
+	Topology
+	DirectedHopDistance(from, to int) int
+}
+
+// ForwardOnly reports whether an eager-protocol idle wave on the
+// topology travels only in the send direction and can wrap back around
+// — the case that must be tracked with the Directed metric rather than
+// the symmetric HopDistance, which would fold the wrapped front back
+// onto itself. Topologies advertise the property through an optional
+// ForwardOnly() bool method; Chain and Grid implement it (true for
+// unidirectional topologies with a periodic dimension).
+func ForwardOnly(t Topology) bool {
+	if f, ok := t.(interface{ ForwardOnly() bool }); ok {
+		return f.ForwardOnly()
+	}
+	return false
+}
+
+// Shells groups every rank of the topology by hop distance from the
+// source rank: Shells(t, s)[h] lists the ranks at distance h, in
+// ascending rank order. On a chain the shells are rank pairs {s-h, s+h};
+// on a grid they are the Manhattan balls' surfaces an idle wave expands
+// through (BFS order from the injection rank).
+func Shells(t Topology, source int) [][]int {
+	n := t.Ranks()
+	maxHop := 0
+	hops := make([]int, n)
+	for r := 0; r < n; r++ {
+		hops[r] = t.HopDistance(source, r)
+		if hops[r] > maxHop {
+			maxHop = hops[r]
+		}
+	}
+	out := make([][]int, maxHop+1)
+	for r := 0; r < n; r++ {
+		out[hops[r]] = append(out[hops[r]], r)
+	}
+	return out
+}
 
 // Boundary selects how the ends of the process chain behave.
 type Boundary int
@@ -62,6 +143,11 @@ type Chain struct {
 	Dir   Direction // unidirectional or bidirectional
 	Bound Boundary  // open or periodic
 }
+
+var _ Topology = Chain{}
+
+// Ranks returns the number of ranks in the chain.
+func (c Chain) Ranks() int { return c.N }
 
 // NewChain validates and builds a chain topology.
 func NewChain(n, d int, dir Direction, bound Boundary) (Chain, error) {
@@ -151,6 +237,29 @@ func (c Chain) HopDistance(a, b int) int {
 	}
 	if c.Bound == Periodic && c.N-d < d {
 		d = c.N - d
+	}
+	return d
+}
+
+// ForwardOnly reports whether eager waves on the chain travel only
+// forward and can wrap: a unidirectional ring.
+func (c Chain) ForwardOnly() bool {
+	return c.Dir == Unidirectional && c.Bound == Periodic && c.N > 1
+}
+
+// DirectedHopDistance returns the chain distance from one rank to
+// another following the send direction (increasing rank) only: the
+// forward ring distance on periodic chains, -1 for ranks behind the
+// source on open chains.
+func (c Chain) DirectedHopDistance(from, to int) int {
+	c.check(from)
+	c.check(to)
+	d := to - from
+	if c.Bound == Periodic {
+		return ((d % c.N) + c.N) % c.N
+	}
+	if d < 0 {
+		return -1
 	}
 	return d
 }

@@ -3,6 +3,12 @@
 // delays, measures propagation speed (to validate Eq. 2 of the paper),
 // fits decay rates under noise (Fig. 8), and quantifies wave interaction
 // and cancellation (Fig. 6) and runtime excess (Fig. 9).
+//
+// Front tracking is organized around the topology's hop metric: ranks
+// are grouped into hop-distance shells around the injection rank (rank
+// pairs on a chain, Manhattan-ball surfaces on a grid or torus), so
+// reach, speed and decay extraction work unchanged on one-dimensional
+// chains and multi-dimensional grids.
 package wave
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -51,7 +58,7 @@ func IdlePeriods(set trace.Set, threshold sim.Time) []IdlePeriod {
 // FrontSample is the wave front's first arrival at one rank.
 type FrontSample struct {
 	Rank      int
-	Hops      int // chain distance from the injection rank
+	Hops      int // topology hop distance from the injection rank
 	Arrival   sim.Time
 	Amplitude sim.Time // idle duration when the front arrived
 }
@@ -64,11 +71,12 @@ type Front struct {
 
 // TrackFront follows the idle wave emanating from the given source rank:
 // for every other rank it records the first idle period longer than
-// threshold. Hop distance is the minimal chain distance (periodic if
-// wrap is true). The source rank itself is excluded: under eager
-// protocols it never idles.
-func TrackFront(set trace.Set, source int, wrap bool, threshold sim.Time) Front {
-	n := len(set.Ranks)
+// threshold. Hop distance comes from the topology's own metric — the
+// minimal chain distance on chains (honoring periodicity), the Manhattan
+// distance on grids and tori — so the front is organized into the
+// hop-distance shells the wave expands through. The source rank itself
+// is excluded: under eager protocols it never idles.
+func TrackFront(set trace.Set, topo topology.Topology, source int, threshold sim.Time) Front {
 	f := Front{Source: source}
 	for _, rt := range set.Ranks {
 		if rt.Rank == source {
@@ -76,13 +84,43 @@ func TrackFront(set trace.Set, source int, wrap bool, threshold sim.Time) Front 
 		}
 		for _, seg := range rt.Segments {
 			if seg.Kind == trace.Wait && seg.Duration() > threshold {
-				hops := rt.Rank - source
-				if hops < 0 {
-					hops = -hops
-				}
-				if wrap && n-hops < hops {
-					hops = n - hops
-				}
+				f.Samples = append(f.Samples, FrontSample{
+					Rank:      rt.Rank,
+					Hops:      topo.HopDistance(source, rt.Rank),
+					Arrival:   seg.Start,
+					Amplitude: seg.Duration(),
+				})
+				break
+			}
+		}
+	}
+	sort.Slice(f.Samples, func(i, j int) bool {
+		if f.Samples[i].Hops != f.Samples[j].Hops {
+			return f.Samples[i].Hops < f.Samples[j].Hops
+		}
+		return f.Samples[i].Rank < f.Samples[j].Rank
+	})
+	return f
+}
+
+// TrackFrontDirected follows an idle wave that travels only in the
+// topology's send direction (the eager-mode unidirectional case, where
+// no wave ever runs against the send direction): hop distance is the
+// topology's directed metric — the forward ring distance on a periodic
+// chain, the forward per-dimension Manhattan distance on a torus.
+// Ranks unreachable along the send direction are skipped.
+func TrackFrontDirected(set trace.Set, topo topology.Directed, source int, threshold sim.Time) Front {
+	f := Front{Source: source}
+	for _, rt := range set.Ranks {
+		if rt.Rank == source {
+			continue
+		}
+		hops := topo.DirectedHopDistance(source, rt.Rank)
+		if hops < 0 {
+			continue
+		}
+		for _, seg := range rt.Segments {
+			if seg.Kind == trace.Wait && seg.Duration() > threshold {
 				f.Samples = append(f.Samples, FrontSample{
 					Rank:      rt.Rank,
 					Hops:      hops,
@@ -105,7 +143,8 @@ func TrackFront(set trace.Set, source int, wrap bool, threshold sim.Time) Front 
 // TrackFrontForward follows an idle wave that travels only in the
 // direction of increasing rank around a ring (the unidirectional
 // eager-mode case, Figs. 4/5a/5b): hop distance is (rank - source) mod n,
-// not the minimal ring distance.
+// not the minimal ring distance. It is the chain-specialized equivalent
+// of TrackFrontDirected, kept for consumers that have only a trace set.
 func TrackFrontForward(set trace.Set, source int, threshold sim.Time) Front {
 	n := len(set.Ranks)
 	f := Front{Source: source}
@@ -144,6 +183,28 @@ func (f Front) Reach() int {
 		}
 	}
 	return max
+}
+
+// ShellArrivals returns the front's first arrival time per hop-distance
+// shell, indexed by hop count (index 0, the source's own shell, is
+// always zero-valued). Shells the front never reached hold -1. On a
+// healthy expanding wave — chain or torus — the arrivals grow
+// monotonically with hop distance.
+func (f Front) ShellArrivals() []sim.Time {
+	out := make([]sim.Time, f.Reach()+1)
+	seen := make([]bool, f.Reach()+1)
+	for _, s := range f.Samples {
+		if !seen[s.Hops] || s.Arrival < out[s.Hops] {
+			out[s.Hops] = s.Arrival
+			seen[s.Hops] = true
+		}
+	}
+	for h := 1; h < len(out); h++ {
+		if !seen[h] {
+			out[h] = -1
+		}
+	}
+	return out
 }
 
 // SpeedResult is a propagation-speed measurement.

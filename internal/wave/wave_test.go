@@ -40,6 +40,16 @@ func synthWave(n, source, steps int, period sim.Time, amp func(hops int) sim.Tim
 
 var period = sim.Milli(3)
 
+// openChain and ring build the 1-D topologies the synthetic-trace tests
+// track fronts on.
+func openChain(n int) topology.Chain {
+	return topology.Chain{N: n, D: 1, Dir: topology.Bidirectional, Bound: topology.Open}
+}
+
+func ring(n int) topology.Chain {
+	return topology.Chain{N: n, D: 1, Dir: topology.Bidirectional, Bound: topology.Periodic}
+}
+
 func TestIdlePeriodsThresholdAndOrder(t *testing.T) {
 	set := synthWave(8, 2, 8, period, func(h int) sim.Time { return sim.Milli(10) })
 	ps := IdlePeriods(set, sim.Milli(1))
@@ -59,7 +69,7 @@ func TestIdlePeriodsThresholdAndOrder(t *testing.T) {
 
 func TestTrackFrontHopsAndAmplitude(t *testing.T) {
 	set := synthWave(9, 4, 9, period, func(h int) sim.Time { return sim.Milli(10) })
-	f := TrackFront(set, 4, false, sim.Milli(1))
+	f := TrackFront(set, openChain(9), 4, sim.Milli(1))
 	if f.Source != 4 {
 		t.Errorf("source = %d", f.Source)
 	}
@@ -80,13 +90,13 @@ func TestTrackFrontHopsAndAmplitude(t *testing.T) {
 
 func TestTrackFrontPeriodicWrap(t *testing.T) {
 	set := synthWave(10, 0, 10, period, func(h int) sim.Time { return sim.Milli(5) })
-	wrapped := TrackFront(set, 0, true, sim.Milli(1))
+	wrapped := TrackFront(set, ring(10), 0, sim.Milli(1))
 	for _, s := range wrapped.Samples {
 		if s.Hops > 5 {
 			t.Errorf("rank %d hop distance %d exceeds n/2 with wrap", s.Rank, s.Hops)
 		}
 	}
-	open := TrackFront(set, 0, false, sim.Milli(1))
+	open := TrackFront(set, openChain(10), 0, sim.Milli(1))
 	if open.Reach() != 9 {
 		t.Errorf("open reach = %d, want 9", open.Reach())
 	}
@@ -95,7 +105,7 @@ func TestTrackFrontPeriodicWrap(t *testing.T) {
 func TestSpeedOnSyntheticWave(t *testing.T) {
 	// One rank per period: v = 1/period ranks/s.
 	set := synthWave(12, 0, 12, period, func(h int) sim.Time { return sim.Milli(9) })
-	f := TrackFront(set, 0, false, sim.Milli(1))
+	f := TrackFront(set, openChain(12), 0, sim.Milli(1))
 	res, err := Speed(f)
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +121,7 @@ func TestSpeedOnSyntheticWave(t *testing.T) {
 
 func TestSpeedNeedsSamples(t *testing.T) {
 	set := synthWave(2, 0, 3, period, func(h int) sim.Time { return sim.Milli(5) })
-	f := TrackFront(set, 0, false, sim.Milli(1))
+	f := TrackFront(set, openChain(2), 0, sim.Milli(1))
 	if _, err := Speed(f); err == nil {
 		t.Error("speed with <3 samples accepted")
 	}
@@ -127,7 +137,7 @@ func TestDecayFitsLinearAmplitudeLoss(t *testing.T) {
 		}
 		return a
 	})
-	f := TrackFront(set, 0, false, sim.Micro(100))
+	f := TrackFront(set, openChain(11), 0, sim.Micro(100))
 	res, err := Decay(f)
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +155,7 @@ func TestDecayFitsLinearAmplitudeLoss(t *testing.T) {
 
 func TestDecayZeroOnUndampedWave(t *testing.T) {
 	set := synthWave(11, 0, 12, period, func(h int) sim.Time { return sim.Milli(10) })
-	f := TrackFront(set, 0, false, sim.Milli(1))
+	f := TrackFront(set, openChain(11), 0, sim.Milli(1))
 	res, err := Decay(f)
 	if err != nil {
 		t.Fatal(err)
@@ -277,7 +287,7 @@ func TestSilentSpeedAndSigma(t *testing.T) {
 
 func TestAmplitudeProfileAveragesDirections(t *testing.T) {
 	set := synthWave(9, 4, 9, period, func(h int) sim.Time { return sim.Time(h) * sim.Milli(1) })
-	f := TrackFront(set, 4, false, sim.Micro(1))
+	f := TrackFront(set, openChain(9), 4, sim.Micro(1))
 	prof := AmplitudeProfile(f)
 	if prof[2] != sim.Milli(2) {
 		t.Errorf("profile[2] = %v, want 2ms", prof[2])
@@ -355,7 +365,7 @@ func TestEq2EndToEnd(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			f := TrackFront(res.Traces, src, false, texec/2)
+			f := TrackFront(res.Traces, c, src, texec/2)
 			sp, err := Speed(f)
 			if err != nil {
 				t.Fatal(err)

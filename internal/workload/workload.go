@@ -18,9 +18,11 @@ import (
 // BulkSync is the paper's canonical benchmark skeleton: per time step an
 // execution phase followed by a non-blocking neighbor exchange
 // (Isend/Irecv to every neighbor, then Waitall). One-off delays can be
-// injected into specific (rank, step) execution phases.
+// injected into specific (rank, step) execution phases. The neighbor
+// pattern comes from any topology.Topology — a chain for the paper's
+// experiments, a Grid/torus for multi-dimensional halo exchange.
 type BulkSync struct {
-	Chain topology.Chain
+	Topo  topology.Topology
 	Steps int
 	// Texec is the compute-bound execution phase length (3 ms in most of
 	// the paper's experiments). May be zero if MemBytes is set.
@@ -37,8 +39,8 @@ type BulkSync struct {
 
 // Validate checks the workload parameters.
 func (b BulkSync) Validate() error {
-	if b.Chain.N <= 0 {
-		return fmt.Errorf("workload: bulk-sync needs a chain topology")
+	if b.Topo == nil || b.Topo.Ranks() <= 0 {
+		return fmt.Errorf("workload: bulk-sync needs a topology")
 	}
 	if b.Steps <= 0 {
 		return fmt.Errorf("workload: need positive step count, got %d", b.Steps)
@@ -53,7 +55,7 @@ func (b BulkSync) Validate() error {
 		return fmt.Errorf("workload: need positive message size, got %d", b.Bytes)
 	}
 	for _, inj := range b.Injections {
-		if inj.Rank < 0 || inj.Rank >= b.Chain.N {
+		if inj.Rank < 0 || inj.Rank >= b.Topo.Ranks() {
 			return fmt.Errorf("workload: injection rank %d out of range", inj.Rank)
 		}
 		if inj.Step < 0 || inj.Step >= b.Steps {
@@ -78,10 +80,11 @@ func (b BulkSync) Programs() ([]mpisim.Program, error) {
 		}
 		inj[in.Rank][in.Step] += in.Duration
 	}
-	progs := make([]mpisim.Program, b.Chain.N)
-	for i := 0; i < b.Chain.N; i++ {
-		sends := b.Chain.SendTargets(i)
-		recvs := b.Chain.RecvSources(i)
+	n := b.Topo.Ranks()
+	progs := make([]mpisim.Program, n)
+	for i := 0; i < n; i++ {
+		sends := b.Topo.SendTargets(i)
+		recvs := b.Topo.RecvSources(i)
 		p := make(mpisim.Program, 0, b.Steps*(len(sends)+len(recvs)+3))
 		for step := 0; step < b.Steps; step++ {
 			if d, ok := inj[i][step]; ok {
@@ -113,9 +116,14 @@ type StreamTriad struct {
 	WorkingSet float64
 	// MessageBytes is the per-neighbor exchange volume (V_net = 2 MB).
 	MessageBytes int
+	// Topo optionally replaces the default closed ring — e.g. a 2-D
+	// torus for a multi-dimensional domain decomposition. Its rank
+	// count must match Ranks.
+	Topo topology.Topology
 }
 
-// Programs builds the triad programs on a closed ring.
+// Programs builds the triad programs, on a closed ring unless Topo
+// overrides the decomposition.
 func (s StreamTriad) Programs() ([]mpisim.Program, error) {
 	if s.Ranks < 3 {
 		return nil, fmt.Errorf("workload: stream triad needs >= 3 ranks for a ring, got %d", s.Ranks)
@@ -123,17 +131,36 @@ func (s StreamTriad) Programs() ([]mpisim.Program, error) {
 	if s.WorkingSet <= 0 {
 		return nil, fmt.Errorf("workload: non-positive working set")
 	}
-	chain, err := topology.NewChain(s.Ranks, 1, topology.Bidirectional, topology.Periodic)
+	topo, err := resolveTopo(s.Topo, s.Ranks, topology.Periodic)
 	if err != nil {
 		return nil, err
 	}
 	b := BulkSync{
-		Chain:    chain,
+		Topo:     topo,
 		Steps:    s.Steps,
 		MemBytes: s.WorkingSet / float64(s.Ranks),
 		Bytes:    s.MessageBytes,
 	}
 	return b.Programs()
+}
+
+// resolveTopo resolves a builder's optional topology: nil yields the
+// default bidirectional d=1 chain on n ranks with the given boundary
+// (Periodic = the canonical ring); an explicit topology must agree
+// with the builder's rank count.
+func resolveTopo(topo topology.Topology, n int, bound topology.Boundary) (topology.Topology, error) {
+	if topo == nil {
+		c, err := topology.NewChain(n, 1, topology.Bidirectional, bound)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	if topo.Ranks() != n {
+		return nil, fmt.Errorf("workload: topology %v has %d ranks, workload declares %d",
+			topo, topo.Ranks(), n)
+	}
+	return topo, nil
 }
 
 // LBM is the Fig. 2 proxy: a double-precision D3Q19 lattice-Boltzmann
@@ -149,6 +176,11 @@ type LBM struct {
 	CellsPerDim int
 	// Injections allow delay experiments on the LBM proxy.
 	Injections []noise.Injection
+	// Topo optionally replaces the paper's slab (outer-dimension-only)
+	// decomposition ring with an arbitrary topology, e.g. a 2-D or 3-D
+	// torus for pencil/block decompositions. Its rank count must match
+	// Ranks.
+	Topo topology.Topology
 }
 
 // bytesPerCell is the memory traffic per lattice cell and time step: 19
@@ -171,7 +203,8 @@ func (l LBM) HaloBytes() int {
 	return face * haloDistributions * 8
 }
 
-// Programs builds the LBM programs on a closed ring.
+// Programs builds the LBM programs, on a closed ring unless Topo
+// overrides the decomposition.
 func (l LBM) Programs() ([]mpisim.Program, error) {
 	if l.Ranks < 3 {
 		return nil, fmt.Errorf("workload: LBM needs >= 3 ranks, got %d", l.Ranks)
@@ -179,12 +212,12 @@ func (l LBM) Programs() ([]mpisim.Program, error) {
 	if l.CellsPerDim <= 0 {
 		return nil, fmt.Errorf("workload: non-positive domain size")
 	}
-	chain, err := topology.NewChain(l.Ranks, 1, topology.Bidirectional, topology.Periodic)
+	topo, err := resolveTopo(l.Topo, l.Ranks, topology.Periodic)
 	if err != nil {
 		return nil, err
 	}
 	b := BulkSync{
-		Chain:      chain,
+		Topo:       topo,
 		Steps:      l.Steps,
 		MemBytes:   l.MemBytesPerRank(),
 		Bytes:      l.HaloBytes(),
@@ -202,10 +235,13 @@ type DivideKernel struct {
 	Ranks     int
 	Steps     int
 	PhaseTime sim.Time // 3 ms in the paper
+	// Topo optionally replaces the default open bidirectional chain.
+	// Its rank count must match Ranks.
+	Topo topology.Topology
 }
 
-// Programs builds the divide-kernel programs on an open bidirectional
-// chain with minimal messages.
+// Programs builds the divide-kernel programs with minimal messages, on
+// an open bidirectional chain unless Topo overrides the pattern.
 func (d DivideKernel) Programs() ([]mpisim.Program, error) {
 	if d.Ranks < 2 {
 		return nil, fmt.Errorf("workload: divide kernel needs >= 2 ranks, got %d", d.Ranks)
@@ -213,12 +249,12 @@ func (d DivideKernel) Programs() ([]mpisim.Program, error) {
 	if d.PhaseTime <= 0 {
 		return nil, fmt.Errorf("workload: non-positive phase time %v", d.PhaseTime)
 	}
-	chain, err := topology.NewChain(d.Ranks, 1, topology.Bidirectional, topology.Open)
+	topo, err := resolveTopo(d.Topo, d.Ranks, topology.Open)
 	if err != nil {
 		return nil, err
 	}
 	b := BulkSync{
-		Chain: chain,
+		Topo:  topo,
 		Steps: d.Steps,
 		Texec: d.PhaseTime,
 		Bytes: 8, // one double: latency-bound

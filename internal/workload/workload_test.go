@@ -22,7 +22,7 @@ func mkChain(t *testing.T, n, d int, dir topology.Direction, b topology.Boundary
 
 func TestBulkSyncValidate(t *testing.T) {
 	good := BulkSync{
-		Chain: mkChain(t, 8, 1, topology.Unidirectional, topology.Open),
+		Topo:  mkChain(t, 8, 1, topology.Unidirectional, topology.Open),
 		Steps: 5, Texec: sim.Milli(3), Bytes: 8192,
 	}
 	if err := good.Validate(); err != nil {
@@ -32,7 +32,8 @@ func TestBulkSyncValidate(t *testing.T) {
 		name string
 		mut  func(*BulkSync)
 	}{
-		{"no chain", func(b *BulkSync) { b.Chain = topology.Chain{} }},
+		{"nil topology", func(b *BulkSync) { b.Topo = nil }},
+		{"empty topology", func(b *BulkSync) { b.Topo = topology.Chain{} }},
 		{"zero steps", func(b *BulkSync) { b.Steps = 0 }},
 		{"negative texec", func(b *BulkSync) { b.Texec = -1 }},
 		{"zero exec", func(b *BulkSync) { b.Texec = 0; b.MemBytes = 0 }},
@@ -61,7 +62,7 @@ func TestBulkSyncValidate(t *testing.T) {
 
 func TestBulkSyncProgramShape(t *testing.T) {
 	b := BulkSync{
-		Chain: mkChain(t, 6, 1, topology.Bidirectional, topology.Periodic),
+		Topo:  mkChain(t, 6, 1, topology.Bidirectional, topology.Periodic),
 		Steps: 4, Texec: sim.Milli(3), Bytes: 8192,
 		Injections: []noise.Injection{{Rank: 2, Step: 1, Duration: sim.Milli(9)}},
 	}
@@ -89,7 +90,7 @@ func TestBulkSyncProgramShape(t *testing.T) {
 
 func TestBulkSyncMergesInjectionsOnSameStep(t *testing.T) {
 	b := BulkSync{
-		Chain: mkChain(t, 4, 1, topology.Unidirectional, topology.Open),
+		Topo:  mkChain(t, 4, 1, topology.Unidirectional, topology.Open),
 		Steps: 2, Texec: sim.Milli(1), Bytes: 64,
 		Injections: []noise.Injection{
 			{Rank: 1, Step: 0, Duration: sim.Milli(2)},
@@ -113,7 +114,7 @@ func TestBulkSyncMergesInjectionsOnSameStep(t *testing.T) {
 
 func TestBulkSyncRunsEndToEnd(t *testing.T) {
 	b := BulkSync{
-		Chain: mkChain(t, 8, 1, topology.Bidirectional, topology.Periodic),
+		Topo:  mkChain(t, 8, 1, topology.Bidirectional, topology.Periodic),
 		Steps: 6, Texec: sim.Milli(1), Bytes: 8192,
 	}
 	progs, err := b.Programs()

@@ -108,6 +108,26 @@ func RanksAxis(ns ...int) SweepAxis {
 	}
 }
 
+// TopologyAxis varies the communication topology — mixing chains,
+// grids and tori in one sweep. Labels come from each topology's
+// String(). Topologies set this way override the base spec's Ranks/
+// NeighborDistance/Direction/Boundary chain fields, so a topology axis
+// should not be combined with RanksAxis, DistanceAxis or DirectionAxis.
+func TopologyAxis(topos ...Topology) SweepAxis {
+	labels := make([]string, len(topos))
+	for i, tp := range topos {
+		labels[i] = tp.String()
+	}
+	return SweepAxis{
+		Name:   "topology",
+		Labels: labels,
+		Apply: func(s *ScenarioSpec, i int) {
+			s.Topology = topos[i]
+			s.Ranks = 0 // defer to the topology's rank count
+		},
+	}
+}
+
 // SeedAxis varies the random seed — the usual way to repeat every grid
 // point under independent noise streams.
 func SeedAxis(seeds ...uint64) SweepAxis {
