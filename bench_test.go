@@ -275,6 +275,63 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events), "events/run")
 }
 
+// frontBenchResult builds a shared mid-sized torus result for the
+// front-cache benchmarks: 256 ranks, every one reached by the wave.
+func frontBenchResult(b *testing.B) *Result {
+	b.Helper()
+	torus, err := Torus2D(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := torus.Center()
+	res, err := Simulate(ScenarioSpec{
+		Machine:  Simulated(),
+		Topology: torus,
+		Steps:    24,
+		Delay:    []Injection{Inject(src, 1, 15*time.Millisecond)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkWaveAnalyticsCachedFront measures WaveSpeed + WaveDecay +
+// ShellArrivals on one source through the per-source front cache: the
+// trace scan runs once, every further call is a map lookup. Compare
+// with BenchmarkWaveAnalyticsUncachedFront for the win.
+func BenchmarkWaveAnalyticsCachedFront(b *testing.B) {
+	res := frontBenchResult(b)
+	src := res.Topology().(Grid).Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.WaveSpeed(src); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.WaveDecay(src); err != nil {
+			b.Fatal(err)
+		}
+		if arr := res.ShellArrivals(src); len(arr) == 0 {
+			b.Fatal("no shells")
+		}
+	}
+}
+
+// BenchmarkWaveAnalyticsUncachedFront is the pre-cache behavior: each
+// of the three analytics re-tracks the front from the raw traces.
+func BenchmarkWaveAnalyticsUncachedFront(b *testing.B) {
+	res := frontBenchResult(b)
+	src := res.Topology().(Grid).Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 3; k++ { // one scan per analytics call
+			if f := res.trackFront(src); len(f.Samples) == 0 {
+				b.Fatal("no front")
+			}
+		}
+	}
+}
+
 // BenchmarkPublicAPISimulate measures the end-to-end cost of the public
 // Simulate entry point on a Fig. 4-sized scenario.
 func BenchmarkPublicAPISimulate(b *testing.B) {

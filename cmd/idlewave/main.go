@@ -1,5 +1,6 @@
 // Command idlewave runs a single idle-wave reproduction experiment — or
-// an ad-hoc scenario on an arbitrary topology — and prints its report.
+// an ad-hoc scenario on an arbitrary topology and workload — and prints
+// its report.
 //
 // Usage:
 //
@@ -9,11 +10,19 @@
 //	idlewave -exp fig5 -csv
 //	idlewave -topology grid:16x16:periodic -steps 24 -delay 15ms
 //	idlewave -topology chain:32:periodic:uni -steps 20 -timeline
+//	idlewave -workload lbm:40:cells=90 -steps 31 -delay 15ms
+//	idlewave -workload triad:18 -workload-topology grid:3x6:periodic
 //
 // The -topology flag (chain:<n>[:opts], grid:<e1>x<e2>[x...][:opts],
 // torus:<dims>[:opts]; opts are open, periodic, uni, bi, d=<k>) runs a
 // one-off bulk-synchronous scenario through the public API instead of a
 // named figure reproduction, and reports the tracked wave front.
+//
+// The -workload flag (triad:<shape>[:ws=..][:msg=..],
+// lbm:<shape>[:cells=..], divide:<shape>[:phase=..],
+// bulk:<shape>[:texec=..][:bytes=..][:topology opts]; <shape> is a rank
+// count or NxM torus extents) runs any of the paper's kernels through
+// the same pipeline; -workload-topology rebinds its decomposition.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -37,8 +47,10 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 
 		topoSpec = flag.String("topology", "", "run an ad-hoc scenario on this topology (e.g. grid:16x16:periodic) instead of -exp")
+		wlSpec   = flag.String("workload", "", "run an ad-hoc scenario of this workload (e.g. lbm:40:cells=90, triad:18, divide:16) instead of -exp")
+		wlTopo   = flag.String("workload-topology", "", "rebind the -workload decomposition to this topology spec")
 		steps    = flag.Int("steps", 24, "ad-hoc scenario: time steps")
-		bytes    = flag.Int("bytes", 8192, "ad-hoc scenario: message size per neighbor")
+		bytes    = flag.Int("bytes", 8192, "ad-hoc scenario: message size per neighbor (bulk-sync only)")
 		noiseE   = flag.Float64("E", 0, "ad-hoc scenario: injected noise level")
 		delayAt  = flag.Int("delay-rank", -1, "ad-hoc scenario: delayed rank (-1 = topology center)")
 		delaySt  = flag.Int("delay-step", 1, "ad-hoc scenario: delayed step")
@@ -54,20 +66,39 @@ func main() {
 		}
 		return
 	}
-	if *topoSpec != "" {
-		if *exp != "" {
-			fmt.Fprintln(os.Stderr, "idlewave: -exp and -topology are mutually exclusive (a named figure reproduction fixes its own topology)")
-			os.Exit(2)
-		}
-		if err := runScenario(*topoSpec, *steps, *bytes, *delayAt, *delaySt,
-			*delayDur, *noiseE, *seed, *timeline); err != nil {
+	adhoc := *topoSpec != "" || *wlSpec != ""
+	if adhoc && *exp != "" {
+		fmt.Fprintln(os.Stderr, "idlewave: -exp and -topology/-workload are mutually exclusive (a named figure reproduction fixes its own scenario)")
+		os.Exit(2)
+	}
+	if *wlTopo != "" && *wlSpec == "" {
+		fmt.Fprintln(os.Stderr, "idlewave: -workload-topology needs -workload")
+		os.Exit(2)
+	}
+	if *wlSpec != "" {
+		// The workload fixes its own message size; reject an explicit
+		// -bytes instead of silently running with the workload's.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "bytes" {
+				fmt.Fprintln(os.Stderr, "idlewave: -workload replaces -bytes; fold it into the workload spec (e.g. bulk:64:bytes=8192)")
+				os.Exit(2)
+			}
+		})
+	}
+	if adhoc {
+		if err := runScenario(scenarioFlags{
+			topoSpec: *topoSpec, wlSpec: *wlSpec, wlTopo: *wlTopo,
+			steps: *steps, bytes: *bytes,
+			delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
+			noiseE: *noiseE, seed: *seed, timeline: *timeline,
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "idlewave: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "idlewave: pick an experiment with -exp (see -list) or a scenario with -topology")
+		fmt.Fprintln(os.Stderr, "idlewave: pick an experiment with -exp (see -list), a scenario with -topology, or a kernel with -workload")
 		os.Exit(2)
 	}
 	rep, err := core.Run(*exp, core.Options{Seed: *seed, Quick: !*full, Workers: *workers})
@@ -84,51 +115,101 @@ func main() {
 	fmt.Print(rep.String())
 }
 
-// runScenario simulates one ad-hoc bulk-synchronous scenario on the
-// given topology and prints the tracked wave front.
-func runScenario(topoSpec string, steps, bytes, delayAt, delayStep int,
-	delayDur time.Duration, noiseE float64, seed uint64, timeline bool) error {
-	topo, err := idlewave.ParseTopology(topoSpec)
-	if err != nil {
-		return err
-	}
-	src := delayAt
-	if src < 0 {
-		if g, ok := topo.(idlewave.Grid); ok {
-			src = g.Center()
-		} else {
-			src = topo.Ranks() / 2
+type scenarioFlags struct {
+	topoSpec, wlSpec, wlTopo string
+	steps, bytes             int
+	delayAt, delayStep       int
+	delayDur                 time.Duration
+	noiseE                   float64
+	seed                     uint64
+	timeline                 bool
+}
+
+// runScenario simulates one ad-hoc scenario — a bulk-synchronous run on
+// the given topology, or any workload parsed from the -workload syntax —
+// and prints the tracked wave front.
+func runScenario(f scenarioFlags) error {
+	spec := idlewave.ScenarioSpec{NoiseLevel: f.noiseE, Seed: f.seed}
+	if f.wlSpec != "" {
+		wl, err := workload.ParseWith(f.wlSpec, workload.Defaults{Steps: f.steps})
+		if err != nil {
+			return err
 		}
+		spec.Workload = wl
+		if f.wlTopo != "" {
+			topo, err := idlewave.ParseTopology(f.wlTopo)
+			if err != nil {
+				return err
+			}
+			spec.Topology = topo
+		}
+	} else {
+		topo, err := idlewave.ParseTopology(f.topoSpec)
+		if err != nil {
+			return err
+		}
+		spec.Topology = topo
+		spec.Steps = f.steps
+		spec.MessageBytes = f.bytes
 	}
-	spec := idlewave.ScenarioSpec{
-		Topology:     topo,
-		Steps:        steps,
-		MessageBytes: bytes,
-		NoiseLevel:   noiseE,
-		Seed:         seed,
-	}
-	if delayDur > 0 {
-		spec.Delay = []idlewave.Injection{idlewave.Inject(src, delayStep, delayDur)}
+
+	if f.delayDur > 0 {
+		src, err := delaySource(spec, f.delayAt)
+		if err != nil {
+			return err
+		}
+		spec.Delay = []idlewave.Injection{idlewave.Inject(src, f.delayStep, f.delayDur)}
 	}
 	res, err := idlewave.Simulate(spec)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("topology  %s (%d ranks)\n", topo, topo.Ranks())
-	fmt.Printf("runtime   %.3f ms over %d steps (%d events)\n", res.End*1e3, steps, res.Events)
+
+	fmt.Printf("workload  %v\n", res.Workload())
+	if topo := res.Topology(); topo != nil {
+		fmt.Printf("topology  %s (%d ranks)\n", topo, topo.Ranks())
+	}
+	fmt.Printf("runtime   %.3f ms over %d steps (%d events)\n", res.End*1e3, res.Traces.Steps(), res.Events)
 	fmt.Printf("idle      %.3f ms total, quiet from step %d\n", res.TotalIdle()*1e3, res.QuietStep())
-	if delayDur > 0 {
-		fmt.Printf("delay     %v at rank %d, step %d\n", delayDur, src, delayStep)
-		if v, err := res.WaveSpeed(src); err == nil {
+	if bw, err := res.MemBandwidth(); err == nil {
+		fmt.Printf("membw     %.2f GB/s achieved per rank\n", bw/1e9)
+	}
+	if len(spec.Delay) > 0 {
+		d := spec.Delay[0]
+		fmt.Printf("delay     %v at rank %d, step %d\n", f.delayDur, d.Rank, d.Step)
+		if v, err := res.WaveSpeed(d.Rank); err == nil {
 			fmt.Printf("wave      speed %.1f hops/s", v)
-			if d, err := res.WaveDecay(src); err == nil {
-				fmt.Printf(", decay %.1f us/hop", d*1e6)
+			if dec, err := res.WaveDecay(d.Rank); err == nil {
+				fmt.Printf(", decay %.1f us/hop", dec*1e6)
 			}
 			fmt.Println()
 		}
 	}
-	if timeline {
+	if f.timeline {
 		return res.RenderTimeline(os.Stdout, 100)
 	}
 	return nil
+}
+
+// delaySource resolves the injection rank: an explicit flag value, or
+// the center of the scenario's topology.
+func delaySource(spec idlewave.ScenarioSpec, delayAt int) (int, error) {
+	if delayAt >= 0 {
+		return delayAt, nil
+	}
+	topo := spec.Topology
+	if topo == nil && spec.Workload != nil {
+		t, err := spec.Workload.Topology()
+		if err != nil {
+			return 0, err
+		}
+		topo = t
+	}
+	if topo == nil {
+		return 0, fmt.Errorf("cannot derive a delay rank without a topology; pass -delay-rank")
+	}
+	if g, ok := topo.(idlewave.Grid); ok {
+		return g.Center(), nil
+	}
+	return topo.Ranks() / 2, nil
 }

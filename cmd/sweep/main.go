@@ -1,8 +1,9 @@
 // Command sweep runs ad-hoc parameter sweeps over the idle-wave
 // simulator: the cartesian product of noise level E, message size,
-// neighbor distance d, direction and machine fans out across a worker
-// pool and the per-point metrics come back as a table, CSV or JSON —
-// deterministically, independent of the worker count.
+// neighbor distance d, direction, machine and workload fans out across
+// a worker pool and the per-point metrics come back as a table, CSV,
+// JSON or Markdown — deterministically, independent of the worker
+// count.
 //
 // Usage:
 //
@@ -10,12 +11,21 @@
 //	sweep -E 0,0.1 -bytes 8192,262144 -d 1,2 -dir uni,bi -format csv
 //	sweep -machine emmy,meggie -metrics speed,decay,idle -o out.csv -format csv
 //	sweep -topology grid:16x16:periodic,chain:256:periodic -E 0,0.05
+//	sweep -workload triad:18,lbm:18:cells=90,divide:18 -metrics runtime,membw
+//	sweep -E 0,0.05 -format markdown
 //	sweep -E 0,0.05,0.1 -bench    # engine scaling demo: serial vs parallel
 //
 // The -topology flag takes comma-separated topology specs
 // (chain:<n>[:opts], grid:<e1>x<e2>[x...][:opts], torus:<dims>[:opts];
 // opts are open, periodic, uni, bi, d=<k>) and replaces the chain-only
 // -ranks/-d/-dir/-periodic flags with a topology axis.
+//
+// The -workload flag takes comma-separated workload specs
+// (triad:<shape>[:ws=..][:msg=..], lbm:<shape>[:cells=..],
+// divide:<shape>[:phase=..], bulk:<shape>[:texec=..][:bytes=..][:topo
+// opts]; <shape> is a rank count or NxM torus extents) and sweeps them
+// as a workload axis, replacing the shape-and-kernel flags
+// (-ranks/-d/-dir/-periodic/-topology/-texec/-bytes).
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/viz"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -47,11 +58,12 @@ func main() {
 		dList    = flag.String("d", "1", "comma-separated neighbor distances")
 		dirList  = flag.String("dir", "bi", "comma-separated directions: uni, bi")
 		topoList = flag.String("topology", "", "comma-separated topology specs (e.g. grid:32x32:periodic); replaces -ranks/-d/-dir/-periodic")
+		wlList   = flag.String("workload", "", "comma-separated workload specs (e.g. triad:18,lbm:18:cells=90); replaces the shape and kernel flags")
 		machList = flag.String("machine", "emmy", "comma-separated machines: emmy, meggie, simulated, or all")
 
-		metricsF = flag.String("metrics", "speed,decay,idle,runtime", "comma-separated metrics: speed, decay, idle, quiet, runtime, events")
+		metricsF = flag.String("metrics", "speed,decay,idle,runtime", "comma-separated metrics: speed, decay, idle, quiet, runtime, events, membw, steptime")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = all cores)")
-		format   = flag.String("format", "table", "output format: table, csv or json")
+		format   = flag.String("format", "table", "output format: table, csv, json or markdown")
 		outFile  = flag.String("o", "", "write output to a file instead of stdout")
 		bench    = flag.Bool("bench", false, "time the grid with workers=1 and the requested pool, report the speedup")
 	)
@@ -61,18 +73,15 @@ func main() {
 		// -topology supersedes the chain-only shape flags; reject
 		// explicit uses instead of silently running a different scenario
 		// than the flags describe.
-		var conflict []string
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "ranks", "periodic", "d", "dir":
-				conflict = append(conflict, "-"+f.Name)
-			}
-		})
-		if len(conflict) > 0 {
-			fmt.Fprintf(os.Stderr, "sweep: -topology replaces %s; fold them into the topology spec (e.g. grid:32x32:periodic:uni:d=2)\n",
-				strings.Join(conflict, ", "))
-			os.Exit(1)
-		}
+		rejectConflicts("-topology", "fold them into the topology spec (e.g. grid:32x32:periodic:uni:d=2)",
+			"ranks", "periodic", "d", "dir")
+	}
+	if *wlList != "" {
+		// -workload supersedes both the chain shape flags and the
+		// kernel parameters: each workload spec fixes its own topology,
+		// execution phase and message size.
+		rejectConflicts("-workload", "fold them into the workload spec (e.g. lbm:16x16:cells=90:steps=30)",
+			"ranks", "periodic", "d", "dir", "topology", "texec", "bytes")
 	}
 
 	spec, err := buildSpec(specFlags{
@@ -80,8 +89,9 @@ func main() {
 		delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
 		periodic: *periodic, seed: *seed,
 		eList: *eList, byteList: *byteList, dList: *dList,
-		dirList: *dirList, topoList: *topoList, machList: *machList,
-		metrics: *metricsF, workers: *workers,
+		dirList: *dirList, topoList: *topoList, wlList: *wlList,
+		machList: *machList,
+		metrics:  *metricsF, workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
@@ -89,9 +99,9 @@ func main() {
 	}
 
 	switch *format {
-	case "table", "csv", "json":
+	case "table", "csv", "json", "markdown":
 	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown format %q (want table, csv or json)\n", *format)
+		fmt.Fprintf(os.Stderr, "sweep: unknown format %q (want table, csv, json or markdown)\n", *format)
 		os.Exit(1)
 	}
 
@@ -123,6 +133,8 @@ func main() {
 		err = tbl.WriteCSV(w)
 	case "json":
 		err = tbl.WriteJSON(w)
+	case "markdown":
+		err = tbl.WriteMarkdown(w)
 	default:
 		err = viz.Table(w, tbl.Rows())
 	}
@@ -135,6 +147,26 @@ func main() {
 	}
 }
 
+// rejectConflicts exits with a usage error when any of the named flags
+// was set explicitly alongside the superseding flag.
+func rejectConflicts(superseder, hint string, names ...string) {
+	super := map[string]bool{}
+	for _, n := range names {
+		super[n] = true
+	}
+	var conflict []string
+	flag.Visit(func(f *flag.Flag) {
+		if super[f.Name] {
+			conflict = append(conflict, "-"+f.Name)
+		}
+	})
+	if len(conflict) > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %s replaces %s; %s\n",
+			superseder, strings.Join(conflict, ", "), hint)
+		os.Exit(1)
+	}
+}
+
 type specFlags struct {
 	ranks, steps       int
 	texec, delayDur    time.Duration
@@ -143,22 +175,14 @@ type specFlags struct {
 	seed               uint64
 	eList, byteList    string
 	dList, dirList     string
-	topoList           string
+	topoList, wlList   string
 	machList, metrics  string
 	workers            int
 }
 
 func buildSpec(f specFlags) (idlewave.SweepSpec, error) {
 	var zero idlewave.SweepSpec
-	base := idlewave.ScenarioSpec{
-		Ranks: f.ranks,
-		Steps: f.steps,
-		Texec: f.texec,
-		Seed:  f.seed,
-	}
-	if f.periodic {
-		base.Boundary = idlewave.Periodic
-	}
+	base := idlewave.ScenarioSpec{Seed: f.seed}
 	if f.delayAt >= 0 {
 		base.Delay = []idlewave.Injection{idlewave.Inject(f.delayAt, f.delayStep, f.delayDur)}
 	}
@@ -174,6 +198,33 @@ func buildSpec(f specFlags) (idlewave.SweepSpec, error) {
 		return zero, fmt.Errorf("-E: %w", err)
 	}
 	axes = append(axes, idlewave.NoiseAxis(es...))
+
+	if f.wlList != "" {
+		// A workload axis supersedes both the chain shape flags and the
+		// kernel flags (main rejects explicit uses); only -steps is
+		// threaded through as the default step count of each spec.
+		var wls []idlewave.Workload
+		for _, p := range strings.Split(f.wlList, ",") {
+			wl, err := workload.ParseWith(p, workload.Defaults{Steps: f.steps})
+			if err != nil {
+				return zero, fmt.Errorf("-workload: %w", err)
+			}
+			wls = append(wls, wl)
+		}
+		axes = append(axes, idlewave.WorkloadAxis(wls...))
+		metrics, err := parseMetrics(f.metrics, f.delayAt)
+		if err != nil {
+			return zero, err
+		}
+		return idlewave.SweepSpec{Base: base, Axes: axes, Metrics: metrics, Workers: f.workers}, nil
+	}
+
+	base.Ranks = f.ranks
+	base.Steps = f.steps
+	base.Texec = f.texec
+	if f.periodic {
+		base.Boundary = idlewave.Periodic
+	}
 	bytes, err := parseInts(f.byteList)
 	if err != nil {
 		return zero, fmt.Errorf("-bytes: %w", err)
@@ -317,8 +368,12 @@ func parseMetrics(s string, delayAt int) ([]idlewave.Metric, error) {
 			out = append(out, idlewave.MetricRuntime())
 		case "events":
 			out = append(out, idlewave.MetricEvents())
+		case "membw":
+			out = append(out, idlewave.MetricMemBandwidth())
+		case "steptime":
+			out = append(out, idlewave.MetricStepTime())
 		default:
-			return nil, fmt.Errorf("unknown metric %q (want speed, decay, idle, quiet, runtime or events)", p)
+			return nil, fmt.Errorf("unknown metric %q (want speed, decay, idle, quiet, runtime, events, membw or steptime)", p)
 		}
 	}
 	return out, nil

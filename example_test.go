@@ -84,6 +84,80 @@ func ExampleResult_WaveSpeed() {
 	// within 10% of Eq. 2: true
 }
 
+// ExampleSimulate_workload runs one of the paper's kernels — the
+// compute-bound divide kernel of Fig. 3 — through the workload-first
+// pipeline: the ScenarioSpec carries the Workload, the injected delay
+// flows onto it, and all wave analytics work unchanged.
+func ExampleSimulate_workload() {
+	divide, err := idlewave.NewDivideKernel(16, 14, 3*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := idlewave.Simulate(idlewave.ScenarioSpec{
+		Machine:  idlewave.Simulated(),
+		Workload: divide,
+		Delay:    []idlewave.Injection{idlewave.Inject(8, 1, 13500*time.Microsecond)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := res.WaveSpeed(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The divide kernel's tiny (8 B) messages are latency-bound, so the
+	// Eq. 2 communication time is essentially the network latency.
+	predicted := idlewave.PredictSpeed(true, false, 1, 3*time.Millisecond, 5*time.Microsecond)
+	fmt.Printf("workload %v\n", res.Workload())
+	fmt.Printf("within 10%% of Eq. 2: %v\n", measured > 0.9*predicted && measured < 1.1*predicted)
+	// Output:
+	// workload divide:16
+	// within 10% of Eq. 2: true
+}
+
+// ExampleSweep_workloadAxis sweeps the same injected delay across the
+// paper's kernels in one grid: the workload axis defers each point to
+// its kernel's own topology, step count and message sizes, while the
+// base spec's delay is injected into every one. Memory-bound kernels
+// absorb the wave differently than the compute-bound divide kernel.
+func ExampleSweep_workloadAxis() {
+	triad, err := idlewave.NewStreamTriad(12, 10, 2.4e8, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lbm, err := idlewave.NewLBM(12, 10, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	divide, err := idlewave.NewDivideKernel(12, 10, 3*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := idlewave.Sweep(idlewave.SweepSpec{
+		Base: idlewave.ScenarioSpec{
+			Machine: idlewave.Simulated(),
+			Delay:   []idlewave.Injection{idlewave.Inject(3, 1, 30*time.Millisecond)},
+			Seed:    42,
+		},
+		Axes: []idlewave.SweepAxis{
+			idlewave.WorkloadAxis(triad, lbm, divide),
+		},
+		Metrics: []idlewave.Metric{idlewave.MetricQuietStep()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := table.WriteMarkdown(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// | workload        | quiet_step |
+	// | --------------- | ---------- |
+	// | triad:12        | 4          |
+	// | lbm:12:cells=40 | -1         |
+	// | divide:12       | 9          |
+}
+
 // ExampleSweep fans a noise-level x direction grid across all cores and
 // emits the collected metrics as CSV. The rows are deterministic: a
 // fixed seed produces identical output at any worker count.

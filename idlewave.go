@@ -9,8 +9,10 @@
 //   - machine descriptions (Emmy, Meggie, Simulated) with realistic
 //     communication and noise parameters;
 //   - topologies (1-D chains, N-dimensional Cartesian grids and tori)
-//     and workload builders (bulk-synchronous loops, STREAM triad, LBM,
-//     divide kernel) over any of them;
+//     and first-class workloads over any of them — all four paper
+//     kernels (BulkSync, StreamTriad, LBM, DivideKernel) plus
+//     process-style programs run through the same Simulate/Sweep
+//     pipeline via the Workload interface;
 //   - the message-passing simulator (eager/rendezvous protocols,
 //     gated-progress rendezvous semantics, injected delays and noise,
 //     memory-bandwidth sharing);
@@ -32,6 +34,7 @@ package idlewave
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -122,10 +125,27 @@ func Inject(rank, step int, d time.Duration) Injection {
 	return Injection{Rank: rank, Step: step, Duration: sim.Time(d.Seconds())}
 }
 
-// ScenarioSpec describes a bulk-synchronous idle-wave scenario.
+// ScenarioSpec describes an idle-wave scenario: which kernel runs
+// (Workload), on what communication structure, on which machine, under
+// what noise.
 type ScenarioSpec struct {
 	// Machine defaults to Emmy() when zero-valued.
 	Machine Machine
+	// Workload optionally selects the kernel the scenario runs — any
+	// Workload (BulkSync, StreamTriad, LBM, DivideKernel,
+	// ProcessWorkload, or a custom implementation). When nil, a
+	// bulk-synchronous chain kernel is built from the scalar fields
+	// below — the original chain-BulkSync behavior, byte for byte.
+	// When set, the workload carries its own topology, step count and
+	// message sizes: Steps and NeighborDistance must be zero, Ranks (if
+	// non-zero) must agree with the workload topology, Topology (if
+	// non-nil) rebinds the workload's decomposition, Delay is added to
+	// the workload's own injections, and Texec/MessageBytes act as
+	// analytics overrides (zero = derive from the workload). The
+	// remaining chain-shape fields, Direction and Boundary, are ignored
+	// (their zero values are indistinguishable from "unset"); express
+	// the exchange pattern through the workload's topology instead.
+	Workload Workload
 	// Topology optionally selects the communication structure directly
 	// (a Grid/torus from NewGrid/Torus2D/Torus3D, a Chain, or any other
 	// Topology). When nil, a chain is built from Ranks,
@@ -137,10 +157,15 @@ type ScenarioSpec struct {
 	Ranks int
 	// Steps is the number of compute-communicate time steps.
 	Steps int
-	// Texec is the execution phase length; default 3 ms.
+	// Texec is the execution phase length; default 3 ms. With a
+	// Workload set it only parameterizes wave analytics (the idle-wave
+	// detection threshold is half an execution phase): zero derives it
+	// from the workload's phase hint or memory footprint.
 	Texec time.Duration
 	// MessageBytes selects the message size and thereby the protocol
 	// (eager at or below the machine's eager limit); default 8192.
+	// With a Workload set it only parameterizes protocol-aware
+	// analytics: zero derives it from the workload's message hint.
 	MessageBytes int
 	// NeighborDistance is the paper's d; default 1.
 	NeighborDistance int
@@ -155,6 +180,55 @@ type ScenarioSpec struct {
 	NoiseLevel float64
 	// Seed makes noise reproducible.
 	Seed uint64
+}
+
+// withDefaults resolves the spec's defaulted fields — Machine, Texec and
+// MessageBytes — to the values a run actually uses, so recorded specs
+// (Result, SweepPoint.Spec) reflect what ran. For workload scenarios the
+// analytics parameters derive from the workload's hints: a statically
+// known phase length, or a saturated-share streaming estimate for
+// memory-bound kernels. Idempotent.
+func (s ScenarioSpec) withDefaults() ScenarioSpec {
+	if s.Machine.Name == "" {
+		s.Machine = Emmy()
+	}
+	if s.Texec == 0 {
+		s.Texec = s.defaultTexec()
+	}
+	if s.MessageBytes == 0 {
+		s.MessageBytes = s.defaultMessageBytes()
+	}
+	return s
+}
+
+// defaultTexec derives the analytics execution-phase length: the
+// workload's static phase hint if it has one, a streaming-time estimate
+// for memory-bound workloads, 3 ms (the paper's standard) otherwise.
+func (s ScenarioSpec) defaultTexec() time.Duration {
+	if s.Workload != nil {
+		if ph, ok := s.Workload.(workload.PhaseHinter); ok && ph.PhaseHint() > 0 {
+			return time.Duration(float64(ph.PhaseHint()) * float64(time.Second))
+		}
+		if ms, ok := s.Workload.(workload.MemStreamer); ok && ms.MemBytesPerStep() > 0 &&
+			s.Machine.MemBandwidth > 0 && s.Machine.CoresPerSocket > 0 {
+			// Saturated socket: each rank streams at bandwidth/cores.
+			sec := ms.MemBytesPerStep() * float64(s.Machine.CoresPerSocket) / s.Machine.MemBandwidth
+			return time.Duration(sec * float64(time.Second))
+		}
+	}
+	return 3 * time.Millisecond
+}
+
+// defaultMessageBytes derives the analytics message size: the
+// workload's hint if it has one, 8192 B (the paper's standard)
+// otherwise.
+func (s ScenarioSpec) defaultMessageBytes() int {
+	if s.Workload != nil {
+		if mh, ok := s.Workload.(workload.MessageHinter); ok && mh.MessageHint() > 0 {
+			return mh.MessageHint()
+		}
+	}
+	return 8192
 }
 
 // resolveTopology returns the topology a spec runs on: the explicit
@@ -187,58 +261,152 @@ type Result struct {
 	// Events is the number of simulation events executed.
 	Events uint64
 
-	spec ScenarioSpec
-	topo Topology // resolved topology the scenario ran on; nil for RunProcesses
+	spec     ScenarioSpec
+	topo     Topology // resolved topology the scenario ran on; nil for topology-free workloads
+	workload Workload // resolved workload the scenario ran
+
+	// fronts caches the tracked wave front per source rank, so speed,
+	// decay and shell analytics on the same source share one TrackFront
+	// pass. Guarded by mu: Results may be read from concurrent sweeps.
+	mu     sync.Mutex
+	fronts map[int]wave.Front
 }
 
 // Topology returns the resolved topology the scenario ran on (nil for
-// process-style runs).
+// process-style runs without a declared topology).
 func (r *Result) Topology() Topology { return r.topo }
 
-// Simulate runs a scenario and returns its result.
+// Workload returns the resolved workload the scenario ran (the implicit
+// chain BulkSync for a nil-Workload spec).
+func (r *Result) Workload() Workload { return r.workload }
+
+// workloadFor resolves the kernel a spec runs: the explicit Workload —
+// retargeted onto spec.Topology and extended with spec.Delay as
+// requested — or the implicit chain BulkSync built from the scalar
+// fields. Call after withDefaults.
+func (s ScenarioSpec) workloadFor() (Workload, error) {
+	if s.Workload == nil {
+		topo, err := s.resolveTopology()
+		if err != nil {
+			return nil, err
+		}
+		return workload.BulkSync{
+			Topo:       topo,
+			Steps:      s.Steps,
+			Texec:      sim.Time(s.Texec.Seconds()),
+			Bytes:      s.MessageBytes,
+			Injections: s.Delay,
+		}, nil
+	}
+	wl := s.Workload
+	if s.Steps != 0 {
+		return nil, fmt.Errorf("spec sets Steps=%d, but the workload %v fixes its own step count", s.Steps, wl)
+	}
+	if s.NeighborDistance != 0 {
+		return nil, fmt.Errorf("spec sets NeighborDistance=%d, but the workload %v fixes its own topology", s.NeighborDistance, wl)
+	}
+	if s.Topology != nil {
+		rt, ok := wl.(workload.Retargetable)
+		if !ok {
+			return nil, fmt.Errorf("workload %v cannot be rebound to a topology", wl)
+		}
+		wl = rt.WithTopology(s.Topology)
+	}
+	if len(s.Delay) > 0 {
+		in, ok := wl.(workload.Injectable)
+		if !ok {
+			return nil, fmt.Errorf("workload %v does not accept injected delays", wl)
+		}
+		wl = in.WithInjections(s.Delay...)
+	}
+	if s.Ranks != 0 {
+		topo, err := wl.Topology()
+		if err != nil {
+			return nil, err
+		}
+		if topo != nil && topo.Ranks() != s.Ranks {
+			return nil, fmt.Errorf("spec declares %d ranks but workload %v runs on %d",
+				s.Ranks, wl, topo.Ranks())
+		}
+	}
+	return wl, nil
+}
+
+// Simulate runs a scenario and returns its result. It is one
+// workload-agnostic pipeline: resolve defaults, resolve the workload
+// (nil selects the chain BulkSync the scalar fields describe), validate
+// and build the per-rank programs, run them on the machine — with
+// memory-bandwidth sharing and hierarchical placement when the workload
+// is memory-bound — and wrap the traces in a Result.
 func Simulate(spec ScenarioSpec) (*Result, error) {
-	if spec.Machine.Name == "" {
-		spec.Machine = Emmy()
-	}
-	if spec.Texec == 0 {
-		spec.Texec = 3 * time.Millisecond
-	}
-	if spec.MessageBytes == 0 {
-		spec.MessageBytes = 8192
-	}
-	topo, err := spec.resolveTopology()
+	spec = spec.withDefaults()
+	wl, err := spec.workloadFor()
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
-	b := workload.BulkSync{
-		Topo:       topo,
-		Steps:      spec.Steps,
-		Texec:      sim.Time(spec.Texec.Seconds()),
-		Bytes:      spec.MessageBytes,
-		Injections: spec.Delay,
-	}
-	progs, err := b.Programs()
+	topo, err := wl.Topology()
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
-	net, err := spec.Machine.FlatNetModel()
+	progs, err := wl.Programs()
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
-	natural, err := spec.Machine.NaturalNoise(spec.Seed)
+	res, err := spec.run(progs)
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
-	injected := noise.Exponential(spec.Seed+1, spec.NoiseLevel, sim.Time(spec.Texec.Seconds()))
-	res, err := mpisim.Run(mpisim.Config{
-		Ranks: topo.Ranks(),
-		Net:   net,
-		Noise: noise.Combine(natural, injected),
-	}, progs)
-	if err != nil {
-		return nil, fmt.Errorf("idlewave: %w", err)
+	return &Result{Traces: res.Traces, End: float64(res.End), Events: res.Events,
+		spec: spec, topo: topo, workload: wl}, nil
+}
+
+// run executes the built programs on the spec's machine. Compute-bound
+// programs run one process per node on the flat network (the paper's
+// controlled-experiment configuration); memory-bound programs get a
+// compact placement with the hierarchical network, shared socket
+// bandwidth and communication-DMA charging (the Fig. 1/2 configuration).
+func (s ScenarioSpec) run(progs []mpisim.Program) (*mpisim.Result, error) {
+	cfg := mpisim.Config{Ranks: len(progs)}
+	if memoryBound(progs) {
+		place, err := s.Machine.Placement(len(progs))
+		if err != nil {
+			return nil, err
+		}
+		net, err := s.Machine.NetModel(place)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Net = net
+		cfg.SocketOf = place.Socket
+		cfg.SocketBandwidth = s.Machine.MemBandwidth
+		cfg.CoreBandwidth = s.Machine.MemBandwidth / 6 // single-core limit, ~1/6 of saturation
+		cfg.ChargeCommBandwidth = true
+	} else {
+		net, err := s.Machine.FlatNetModel()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Net = net
 	}
-	return &Result{Traces: res.Traces, End: float64(res.End), Events: res.Events, spec: spec, topo: topo}, nil
+	natural, err := s.Machine.NaturalNoise(s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	injected := noise.Exponential(s.Seed+1, s.NoiseLevel, sim.Time(s.Texec.Seconds()))
+	cfg.Noise = noise.Combine(natural, injected)
+	return mpisim.Run(cfg, progs)
+}
+
+// memoryBound reports whether any execution phase streams memory.
+func memoryBound(progs []mpisim.Program) bool {
+	for _, p := range progs {
+		for _, op := range p {
+			if c, ok := op.(mpisim.Compute); ok && c.MemBytes > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // WaveSpeed measures the propagation speed of the idle wave emanating
@@ -286,13 +454,30 @@ func (r *Result) ShellArrivals(source int) []float64 {
 	return out
 }
 
-// front picks the right hop metric for the scenario's communication
+// front returns the tracked wave front emanating from the source rank,
+// caching it so speed, decay and shell analytics on the same source
+// share one TrackFront pass.
+func (r *Result) front(source int) wave.Front {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fronts[source]; ok {
+		return f
+	}
+	f := r.trackFront(source)
+	if r.fronts == nil {
+		r.fronts = make(map[int]wave.Front)
+	}
+	r.fronts[source] = f
+	return f
+}
+
+// trackFront picks the right hop metric for the scenario's communication
 // pattern: an eager-protocol wave travels only in the send direction,
 // so on a unidirectional topology with wrap-around (ring or torus) the
 // front is tracked with the directed metric — the symmetric metric
 // would fold the wrapped front back onto itself. Every other pattern
 // uses the topology's own symmetric hop metric.
-func (r *Result) front(source int) wave.Front {
+func (r *Result) trackFront(source int) wave.Front {
 	threshold := sim.Time(r.spec.Texec.Seconds()) / 2
 	eager := r.spec.MessageBytes <= r.spec.Machine.EagerLimit
 	if eager && topology.ForwardOnly(r.topo) {
@@ -301,6 +486,35 @@ func (r *Result) front(source int) wave.Front {
 		}
 	}
 	return wave.TrackFront(r.Traces, r.topo, source, threshold)
+}
+
+// MemBandwidth returns the achieved per-rank memory streaming bandwidth
+// in bytes per second, averaged over ranks: the workload's per-step
+// streamed volume divided by the rank's mean execution-phase time. It
+// errors for workloads that are not memory-bound.
+func (r *Result) MemBandwidth() (float64, error) {
+	ms, ok := r.workload.(workload.MemStreamer)
+	if !ok || ms.MemBytesPerStep() <= 0 {
+		return 0, fmt.Errorf("idlewave: workload is not memory-bound")
+	}
+	steps := r.Traces.Steps()
+	if steps == 0 {
+		return 0, fmt.Errorf("idlewave: no completed steps to measure bandwidth over")
+	}
+	perStep := ms.MemBytesPerStep()
+	var sum float64
+	var n int
+	for _, rt := range r.Traces.Ranks {
+		exec := float64(rt.TotalBy(trace.Exec))
+		if exec > 0 {
+			sum += perStep * float64(steps) / exec
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("idlewave: no execution phases recorded")
+	}
+	return sum / float64(n), nil
 }
 
 // IdleByStep returns the summed wait time of all ranks per time step, in
@@ -348,33 +562,21 @@ func PredictSpeed(bidirectional, rendezvous bool, d int, texec, tcomm time.Durat
 // collective operations Barrier, Allreduce and Bcast.
 type Comm = proc.Comm
 
-// RunProcesses executes fn as the program of every rank on the machine's
-// flat network and returns the resulting traces wrapped in a Result.
-// Scenario-level analytics that need topology information (WaveSpeed,
-// WaveDecay) are not available on process-style results; use the trace
-// set and the wave package metrics instead.
+// RunProcesses executes fn as the program of every rank and returns the
+// resulting traces wrapped in a Result. It is sugar for Simulate with a
+// ProcessWorkload: to gain the topology-bound analytics (WaveSpeed,
+// WaveDecay, ShellArrivals) on a process-style run, call Simulate with
+// a ProcessWorkload that declares its Topo. Compute-bound programs run
+// on the machine's flat network as before; programs with memory-bound
+// phases (Comm.ComputeMem) — which previously errored here for lack of
+// a socket configuration — now run with compact placement and shared
+// socket memory bandwidth, like every other memory-bound workload.
 func RunProcesses(m Machine, ranks int, seed uint64, fn func(*Comm)) (*Result, error) {
-	if m.Name == "" {
-		m = Emmy()
-	}
-	net, err := m.FlatNetModel()
-	if err != nil {
-		return nil, fmt.Errorf("idlewave: %w", err)
-	}
-	natural, err := m.NaturalNoise(seed)
-	if err != nil {
-		return nil, fmt.Errorf("idlewave: %w", err)
-	}
-	res, err := proc.Run(mpisim.Config{Ranks: ranks, Net: net, Noise: natural}, fn)
-	if err != nil {
-		return nil, fmt.Errorf("idlewave: %w", err)
-	}
-	return &Result{
-		Traces: res.Traces,
-		End:    float64(res.End),
-		Events: res.Events,
-		spec:   ScenarioSpec{Machine: m, Ranks: ranks, Texec: 3 * time.Millisecond},
-	}, nil
+	return Simulate(ScenarioSpec{
+		Machine:  m,
+		Workload: ProcessWorkload{Ranks: ranks, Fn: fn},
+		Seed:     seed,
+	})
 }
 
 // Experiments lists the named paper-reproduction experiments.

@@ -140,11 +140,12 @@ func RunAll(opts Options) ([]*Report, error) {
 
 // ---- shared helpers ----
 
-// bulkRun builds and runs a bulk-synchronous workload on a machine with a
-// flat (one process per node) network, the configuration used by the
-// paper's controlled propagation experiments.
-func bulkRun(m cluster.Machine, b workload.BulkSync, noiseFn mpisim.NoiseFunc) (*mpisim.Result, error) {
-	progs, err := b.Programs()
+// bulkRun builds any workload's programs through the Workload interface
+// and runs them on a machine with a flat (one process per node) network,
+// the configuration used by the paper's controlled propagation
+// experiments.
+func bulkRun(m cluster.Machine, wl workload.Workload, noiseFn mpisim.NoiseFunc) (*mpisim.Result, error) {
+	progs, err := wl.Programs()
 	if err != nil {
 		return nil, err
 	}
@@ -153,10 +154,32 @@ func bulkRun(m cluster.Machine, b workload.BulkSync, noiseFn mpisim.NoiseFunc) (
 		return nil, err
 	}
 	return mpisim.Run(mpisim.Config{
-		Ranks: b.Topo.Ranks(),
+		Ranks: len(progs),
 		Net:   net,
 		Noise: noiseFn,
 	}, progs)
+}
+
+// memWorkloadRun builds any workload's programs through the Workload
+// interface and runs them memory-bound style: compact placement,
+// hierarchical network, shared socket bandwidth (the Fig. 1/2
+// configuration).
+func memWorkloadRun(m cluster.Machine, wl workload.Workload, noiseFn mpisim.NoiseFunc) (*mpisim.Result, error) {
+	progs, err := wl.Programs()
+	if err != nil {
+		return nil, err
+	}
+	return memRun(m, progs, len(progs), noiseFn)
+}
+
+// spreadWorkloadRun is memWorkloadRun with a spread placement of ppn
+// processes per node (the paper's PPN=1 setup when ppn is 1).
+func spreadWorkloadRun(m cluster.Machine, wl workload.Workload, ppn int, noiseFn mpisim.NoiseFunc) (*mpisim.Result, error) {
+	progs, err := wl.Programs()
+	if err != nil {
+		return nil, err
+	}
+	return spreadRun(m, progs, len(progs), ppn, noiseFn)
 }
 
 // memRun builds and runs a memory-bound bulk-synchronous workload with a

@@ -49,21 +49,17 @@ func runFig1(opts Options) (*Report, error) {
 	aPoints, err := sweep.Map(opts.Workers, maxSockets, func(job int) (aPoint, error) {
 		n := job + 1
 		ranks := n * m.CoresPerSocket
-		wl := workload.StreamTriad{
+		var wl workload.Workload = workload.StreamTriad{
 			Ranks:        ranks,
 			Steps:        steps,
 			WorkingSet:   triad.WorkingSet,
 			MessageBytes: int(triad.MessageBytes),
 		}
-		progs, err := wl.Programs()
-		if err != nil {
-			return aPoint{}, err
-		}
 		natural, err := m.NaturalNoise(jobSeed(opts.Seed, job))
 		if err != nil {
 			return aPoint{}, err
 		}
-		res, err := memRun(m, progs, ranks, natural)
+		res, err := memWorkloadRun(m, wl, natural)
 		if err != nil {
 			return aPoint{}, err
 		}
@@ -130,21 +126,17 @@ func runFig1(opts Options) (*Report, error) {
 		if ranks < 3 {
 			ranks = 3 // smallest ring; performance normalized per rank anyway
 		}
-		wl := workload.StreamTriad{
+		var wl workload.Workload = workload.StreamTriad{
 			Ranks:        ranks,
 			Steps:        steps,
 			WorkingSet:   triad.WorkingSet,
 			MessageBytes: int(triad.MessageBytes),
 		}
-		progs, err := wl.Programs()
-		if err != nil {
-			return cPoint{}, err
-		}
 		natural, err := m.NaturalNoise(jobSeed(opts.Seed, maxSockets+job))
 		if err != nil {
 			return cPoint{}, err
 		}
-		res, err := spreadRun(m, progs, ranks, 1, natural)
+		res, err := spreadWorkloadRun(m, wl, 1, natural)
 		if err != nil {
 			return cPoint{}, err
 		}
@@ -203,15 +195,11 @@ func runFig2(opts Options) (*Report, error) {
 	steps := snapshots[len(snapshots)-1] + 1
 
 	wl := workload.LBM{Ranks: ranks, Steps: steps, CellsPerDim: cells}
-	progs, err := wl.Programs()
-	if err != nil {
-		return nil, err
-	}
 	natural, err := m.NaturalNoise(opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	res, err := memRun(m, progs, ranks, natural)
+	res, err := memWorkloadRun(m, wl, natural)
 	if err != nil {
 		return nil, err
 	}

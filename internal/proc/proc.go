@@ -229,20 +229,34 @@ func (c *Comm) EndStep() {
 	c.step++
 }
 
-// Run records fn once per rank and executes the resulting programs on the
-// simulator.
-func Run(cfg mpisim.Config, fn func(*Comm)) (*mpisim.Result, error) {
+// Record runs fn once per rank to record the per-rank programs without
+// executing them — the bridge that lets process-style code flow through
+// any program-consuming pipeline (e.g. the public Workload interface).
+func Record(ranks int, fn func(*Comm)) ([]mpisim.Program, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("proc: nil rank function")
 	}
-	progs := make([]mpisim.Program, cfg.Ranks)
-	for r := 0; r < cfg.Ranks; r++ {
-		c := &Comm{rank: r, size: cfg.Ranks}
+	if ranks < 0 {
+		return nil, fmt.Errorf("proc: negative rank count %d", ranks)
+	}
+	progs := make([]mpisim.Program, ranks)
+	for r := 0; r < ranks; r++ {
+		c := &Comm{rank: r, size: ranks}
 		fn(c)
 		if c.err != nil {
 			return nil, c.err
 		}
 		progs[r] = c.prog
+	}
+	return progs, nil
+}
+
+// Run records fn once per rank and executes the resulting programs on the
+// simulator.
+func Run(cfg mpisim.Config, fn func(*Comm)) (*mpisim.Result, error) {
+	progs, err := Record(cfg.Ranks, fn)
+	if err != nil {
+		return nil, err
 	}
 	return mpisim.Run(cfg, progs)
 }

@@ -199,6 +199,68 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteMarkdown emits the table as a GitHub-flavored Markdown table
+// with columns padded to equal width, so the raw text reads as cleanly
+// as the rendered form. Pipes in cells are escaped; newlines become
+// spaces.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	escape := func(cell string) string {
+		cell = strings.ReplaceAll(cell, "\n", " ")
+		return strings.ReplaceAll(cell, "|", `\|`)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(escape(h))
+		if widths[i] < 3 { // room for the "---" delimiter
+			widths[i] = 3
+		}
+	}
+	for ri, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("sweep: row %d has %d cells, header has %d", ri, len(row), len(t.Header))
+		}
+		for i, cell := range row {
+			if n := len(escape(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		b.WriteString("|")
+		for i, cell := range cells {
+			c := escape(cell)
+			b.WriteString(" ")
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("|")
+	for _, wd := range widths {
+		b.WriteString(" ")
+		b.WriteString(strings.Repeat("-", wd))
+		b.WriteString(" |")
+	}
+	b.WriteString("\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteJSON emits the table as a JSON array of objects, one per row,
 // keyed by the header names. Key order follows the header.
 func (t *Table) WriteJSON(w io.Writer) error {

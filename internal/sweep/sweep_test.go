@@ -180,3 +180,33 @@ func TestTableEmitters(t *testing.T) {
 		t.Errorf("Data() = %v", data)
 	}
 }
+
+// TestWriteMarkdown pins the Markdown emitter: padded columns, a
+// dash delimiter row, escaped pipes, flattened newlines, and ragged-row
+// rejection.
+func TestWriteMarkdown(t *testing.T) {
+	tbl := Table{
+		Header: []string{"id", "note"},
+		Rows: [][]string{
+			{"1", "a|b"},
+			{"22", "two\nlines"},
+		},
+	}
+	var b strings.Builder
+	if err := tbl.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"| id  | note      |\n" +
+		"| --- | --------- |\n" +
+		"| 1   | a\\|b      |\n" +
+		"| 22  | two lines |\n"
+	if b.String() != want {
+		t.Errorf("Markdown =\n%q\nwant\n%q", b.String(), want)
+	}
+
+	ragged := Table{Header: []string{"a"}, Rows: [][]string{{"x", "y"}}}
+	if err := ragged.WriteMarkdown(&strings.Builder{}); err == nil {
+		t.Error("WriteMarkdown accepted a ragged row")
+	}
+}

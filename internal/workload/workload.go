@@ -4,15 +4,89 @@
 // with delay injections, the memory-bound MPI STREAM-triad proxy (Fig. 1),
 // the Lattice-Boltzmann proxy (Fig. 2) and the compute-bound divide
 // kernel used for noise characterization (Fig. 3).
+//
+// Every builder satisfies the Workload interface, the contract the
+// public Simulate/Sweep pipeline programs against: validate the
+// parameters, resolve the communication topology, expose the injected
+// delays, and build one simulator program per rank. Optional capability
+// interfaces (PhaseHinter, MessageHinter, MemStreamer, Retargetable,
+// Injectable) let generic consumers derive analytics parameters and
+// rebind a workload to another topology or delay set without knowing
+// its concrete type.
 package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mpisim"
 	"repro/internal/noise"
 	"repro/internal/sim"
 	"repro/internal/topology"
+)
+
+// Workload is the common contract of every kernel the simulator can
+// run. Implementations are value types: methods never mutate the
+// receiver, so a Workload can be shared freely across concurrent sweep
+// jobs.
+type Workload interface {
+	// Validate checks the workload parameters without building programs.
+	Validate() error
+	// Topology returns the resolved communication topology the workload
+	// runs on. A nil topology (with nil error) means the workload has no
+	// declared structure — topology-bound analytics are then unavailable.
+	Topology() (topology.Topology, error)
+	// Delays lists the one-off injected delays the workload carries.
+	Delays() []noise.Injection
+	// Programs builds one simulator program per rank.
+	Programs() ([]mpisim.Program, error)
+}
+
+// PhaseHinter is implemented by workloads whose execution-phase length
+// is statically known (compute-bound kernels); the hint parameterizes
+// idle-wave detection thresholds. Zero means "not statically known".
+type PhaseHinter interface {
+	PhaseHint() sim.Time
+}
+
+// MessageHinter is implemented by workloads with a characteristic
+// per-neighbor message size; the hint drives protocol-aware analytics
+// (eager vs. rendezvous front tracking).
+type MessageHinter interface {
+	MessageHint() int
+}
+
+// MemStreamer is implemented by memory-bound workloads; it reports the
+// volume one rank streams through its socket per time step, the basis
+// of achieved-memory-bandwidth metrics. Zero means compute-bound.
+type MemStreamer interface {
+	MemBytesPerStep() float64
+}
+
+// Retargetable workloads can be rebound to another topology — the hook
+// that lets a topology axis compose with a workload axis in sweeps.
+type Retargetable interface {
+	WithTopology(topology.Topology) Workload
+}
+
+// Injectable workloads accept additional one-off delays on top of the
+// ones they already carry.
+type Injectable interface {
+	WithInjections(...noise.Injection) Workload
+}
+
+// Compile-time checks: all four builders satisfy the full contract.
+var (
+	_ Workload = BulkSync{}
+	_ Workload = StreamTriad{}
+	_ Workload = LBM{}
+	_ Workload = DivideKernel{}
+
+	_ = []PhaseHinter{BulkSync{}, DivideKernel{}}
+	_ = []MessageHinter{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}}
+	_ = []MemStreamer{BulkSync{}, StreamTriad{}, LBM{}}
+	_ = []Retargetable{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}}
+	_ = []Injectable{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}}
 )
 
 // BulkSync is the paper's canonical benchmark skeleton: per time step an
@@ -68,6 +142,47 @@ func (b BulkSync) Validate() error {
 	return nil
 }
 
+// Topology returns the workload's topology.
+func (b BulkSync) Topology() (topology.Topology, error) {
+	if b.Topo == nil || b.Topo.Ranks() <= 0 {
+		return nil, fmt.Errorf("workload: bulk-sync needs a topology")
+	}
+	return b.Topo, nil
+}
+
+// Delays lists the injected one-off delays.
+func (b BulkSync) Delays() []noise.Injection { return b.Injections }
+
+// PhaseHint returns the fixed execution-phase length (zero when the
+// phase is purely memory-bound).
+func (b BulkSync) PhaseHint() sim.Time { return b.Texec }
+
+// MessageHint returns the per-neighbor message size.
+func (b BulkSync) MessageHint() int { return b.Bytes }
+
+// MemBytesPerStep returns the per-rank memory traffic per step.
+func (b BulkSync) MemBytesPerStep() float64 { return b.MemBytes }
+
+// WithTopology returns a copy of the workload bound to the topology.
+func (b BulkSync) WithTopology(t topology.Topology) Workload {
+	b.Topo = t
+	return b
+}
+
+// WithInjections returns a copy carrying the extra delays.
+func (b BulkSync) WithInjections(inj ...noise.Injection) Workload {
+	b.Injections = appendInjections(b.Injections, inj)
+	return b
+}
+
+// String renders the workload in the flag syntax family ("bulk:<topo>").
+func (b BulkSync) String() string {
+	if b.Topo == nil {
+		return "bulk"
+	}
+	return "bulk:" + b.Topo.String()
+}
+
 // Programs builds one program per rank.
 func (b BulkSync) Programs() ([]mpisim.Program, error) {
 	if err := b.Validate(); err != nil {
@@ -116,30 +231,89 @@ type StreamTriad struct {
 	WorkingSet float64
 	// MessageBytes is the per-neighbor exchange volume (V_net = 2 MB).
 	MessageBytes int
+	// Injections allow delay experiments on the triad.
+	Injections []noise.Injection
 	// Topo optionally replaces the default closed ring — e.g. a 2-D
 	// torus for a multi-dimensional domain decomposition. Its rank
 	// count must match Ranks.
 	Topo topology.Topology
 }
 
-// Programs builds the triad programs, on a closed ring unless Topo
-// overrides the decomposition.
-func (s StreamTriad) Programs() ([]mpisim.Program, error) {
+// bulk resolves the triad onto its bulk-synchronous skeleton.
+func (s StreamTriad) bulk() (BulkSync, error) {
 	if s.Ranks < 3 {
-		return nil, fmt.Errorf("workload: stream triad needs >= 3 ranks for a ring, got %d", s.Ranks)
+		return BulkSync{}, fmt.Errorf("workload: stream triad needs >= 3 ranks for a ring, got %d", s.Ranks)
 	}
 	if s.WorkingSet <= 0 {
-		return nil, fmt.Errorf("workload: non-positive working set")
+		return BulkSync{}, fmt.Errorf("workload: non-positive working set")
 	}
 	topo, err := resolveTopo(s.Topo, s.Ranks, topology.Periodic)
 	if err != nil {
+		return BulkSync{}, err
+	}
+	return BulkSync{
+		Topo:       topo,
+		Steps:      s.Steps,
+		MemBytes:   s.WorkingSet / float64(s.Ranks),
+		Bytes:      s.MessageBytes,
+		Injections: s.Injections,
+	}, nil
+}
+
+// Validate checks the workload parameters.
+func (s StreamTriad) Validate() error {
+	b, err := s.bulk()
+	if err != nil {
+		return err
+	}
+	return b.Validate()
+}
+
+// Topology returns the resolved decomposition (a closed ring unless
+// Topo overrides it).
+func (s StreamTriad) Topology() (topology.Topology, error) {
+	b, err := s.bulk()
+	if err != nil {
 		return nil, err
 	}
-	b := BulkSync{
-		Topo:     topo,
-		Steps:    s.Steps,
-		MemBytes: s.WorkingSet / float64(s.Ranks),
-		Bytes:    s.MessageBytes,
+	return b.Topo, nil
+}
+
+// Delays lists the injected one-off delays.
+func (s StreamTriad) Delays() []noise.Injection { return s.Injections }
+
+// MessageHint returns the per-neighbor exchange volume.
+func (s StreamTriad) MessageHint() int { return s.MessageBytes }
+
+// MemBytesPerStep returns one rank's share of the working set.
+func (s StreamTriad) MemBytesPerStep() float64 {
+	if s.Ranks <= 0 {
+		return 0
+	}
+	return s.WorkingSet / float64(s.Ranks)
+}
+
+// WithTopology returns a copy bound to the topology.
+func (s StreamTriad) WithTopology(t topology.Topology) Workload {
+	s.Topo = t
+	return s
+}
+
+// WithInjections returns a copy carrying the extra delays.
+func (s StreamTriad) WithInjections(inj ...noise.Injection) Workload {
+	s.Injections = appendInjections(s.Injections, inj)
+	return s
+}
+
+// String renders the workload in the flag syntax ("triad:<shape>").
+func (s StreamTriad) String() string { return "triad:" + shapeLabel(s.Topo, s.Ranks) }
+
+// Programs builds the triad programs, on a closed ring unless Topo
+// overrides the decomposition.
+func (s StreamTriad) Programs() ([]mpisim.Program, error) {
+	b, err := s.bulk()
+	if err != nil {
+		return nil, err
 	}
 	return b.Programs()
 }
@@ -161,6 +335,46 @@ func resolveTopo(topo topology.Topology, n int, bound topology.Boundary) (topolo
 			topo, topo.Ranks(), n)
 	}
 	return topo, nil
+}
+
+// appendInjections concatenates two delay lists without aliasing either.
+func appendInjections(base, extra []noise.Injection) []noise.Injection {
+	out := make([]noise.Injection, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
+// shapeLabel renders a workload's decomposition for String() in the
+// flag syntax where it has a spelling: the rank count for the default
+// decomposition, NxM extents for a plain torus (the shape Parse
+// builds). Other topologies fall back to their own String(), which
+// does not re-parse as a workload spec.
+func shapeLabel(topo topology.Topology, ranks int) string {
+	if topo == nil {
+		return fmt.Sprint(ranks)
+	}
+	if g, ok := topo.(topology.Grid); ok && isPlainTorus(g) {
+		parts := make([]string, len(g.Extents))
+		for i, e := range g.Extents {
+			parts[i] = fmt.Sprint(e)
+		}
+		return strings.Join(parts, "x")
+	}
+	return topo.String()
+}
+
+// isPlainTorus reports whether the grid is the shape the "NxM" flag
+// spelling produces: d=1, bidirectional, fully periodic.
+func isPlainTorus(g topology.Grid) bool {
+	if g.D != 1 || g.Dir != topology.Bidirectional {
+		return false
+	}
+	for _, b := range g.Bounds {
+		if b != topology.Periodic {
+			return false
+		}
+	}
+	return len(g.Bounds) > 0
 }
 
 // LBM is the Fig. 2 proxy: a double-precision D3Q19 lattice-Boltzmann
@@ -203,25 +417,83 @@ func (l LBM) HaloBytes() int {
 	return face * haloDistributions * 8
 }
 
-// Programs builds the LBM programs, on a closed ring unless Topo
-// overrides the decomposition.
-func (l LBM) Programs() ([]mpisim.Program, error) {
+// bulk resolves the LBM proxy onto its bulk-synchronous skeleton.
+func (l LBM) bulk() (BulkSync, error) {
 	if l.Ranks < 3 {
-		return nil, fmt.Errorf("workload: LBM needs >= 3 ranks, got %d", l.Ranks)
+		return BulkSync{}, fmt.Errorf("workload: LBM needs >= 3 ranks, got %d", l.Ranks)
 	}
 	if l.CellsPerDim <= 0 {
-		return nil, fmt.Errorf("workload: non-positive domain size")
+		return BulkSync{}, fmt.Errorf("workload: non-positive domain size")
 	}
 	topo, err := resolveTopo(l.Topo, l.Ranks, topology.Periodic)
 	if err != nil {
-		return nil, err
+		return BulkSync{}, err
 	}
-	b := BulkSync{
+	return BulkSync{
 		Topo:       topo,
 		Steps:      l.Steps,
 		MemBytes:   l.MemBytesPerRank(),
 		Bytes:      l.HaloBytes(),
 		Injections: l.Injections,
+	}, nil
+}
+
+// Validate checks the workload parameters.
+func (l LBM) Validate() error {
+	b, err := l.bulk()
+	if err != nil {
+		return err
+	}
+	return b.Validate()
+}
+
+// Topology returns the resolved decomposition (a closed ring unless
+// Topo overrides it).
+func (l LBM) Topology() (topology.Topology, error) {
+	b, err := l.bulk()
+	if err != nil {
+		return nil, err
+	}
+	return b.Topo, nil
+}
+
+// Delays lists the injected one-off delays.
+func (l LBM) Delays() []noise.Injection { return l.Injections }
+
+// MessageHint returns the per-neighbor halo volume.
+func (l LBM) MessageHint() int { return l.HaloBytes() }
+
+// MemBytesPerStep returns one rank's slab traffic per step.
+func (l LBM) MemBytesPerStep() float64 {
+	if l.Ranks <= 0 {
+		return 0
+	}
+	return l.MemBytesPerRank()
+}
+
+// WithTopology returns a copy bound to the topology.
+func (l LBM) WithTopology(t topology.Topology) Workload {
+	l.Topo = t
+	return l
+}
+
+// WithInjections returns a copy carrying the extra delays.
+func (l LBM) WithInjections(inj ...noise.Injection) Workload {
+	l.Injections = appendInjections(l.Injections, inj)
+	return l
+}
+
+// String renders the workload in the flag syntax ("lbm:<shape>:cells=<n>").
+func (l LBM) String() string {
+	return fmt.Sprintf("lbm:%s:cells=%d", shapeLabel(l.Topo, l.Ranks), l.CellsPerDim)
+}
+
+// Programs builds the LBM programs, on a closed ring unless Topo
+// overrides the decomposition.
+func (l LBM) Programs() ([]mpisim.Program, error) {
+	b, err := l.bulk()
+	if err != nil {
+		return nil, err
 	}
 	return b.Programs()
 }
@@ -235,29 +507,87 @@ type DivideKernel struct {
 	Ranks     int
 	Steps     int
 	PhaseTime sim.Time // 3 ms in the paper
+	// Injections allow delay experiments on the divide kernel.
+	Injections []noise.Injection
 	// Topo optionally replaces the default open bidirectional chain.
 	// Its rank count must match Ranks.
 	Topo topology.Topology
 }
 
-// Programs builds the divide-kernel programs with minimal messages, on
-// an open bidirectional chain unless Topo overrides the pattern.
-func (d DivideKernel) Programs() ([]mpisim.Program, error) {
+// divideMsgBytes is the divide kernel's message size: one double,
+// latency-bound.
+const divideMsgBytes = 8
+
+// bulk resolves the divide kernel onto its bulk-synchronous skeleton.
+func (d DivideKernel) bulk() (BulkSync, error) {
 	if d.Ranks < 2 {
-		return nil, fmt.Errorf("workload: divide kernel needs >= 2 ranks, got %d", d.Ranks)
+		return BulkSync{}, fmt.Errorf("workload: divide kernel needs >= 2 ranks, got %d", d.Ranks)
 	}
 	if d.PhaseTime <= 0 {
-		return nil, fmt.Errorf("workload: non-positive phase time %v", d.PhaseTime)
+		return BulkSync{}, fmt.Errorf("workload: non-positive phase time %v", d.PhaseTime)
 	}
 	topo, err := resolveTopo(d.Topo, d.Ranks, topology.Open)
 	if err != nil {
+		return BulkSync{}, err
+	}
+	return BulkSync{
+		Topo:       topo,
+		Steps:      d.Steps,
+		Texec:      d.PhaseTime,
+		Bytes:      divideMsgBytes,
+		Injections: d.Injections,
+	}, nil
+}
+
+// Validate checks the workload parameters.
+func (d DivideKernel) Validate() error {
+	b, err := d.bulk()
+	if err != nil {
+		return err
+	}
+	return b.Validate()
+}
+
+// Topology returns the resolved pattern (an open bidirectional chain
+// unless Topo overrides it).
+func (d DivideKernel) Topology() (topology.Topology, error) {
+	b, err := d.bulk()
+	if err != nil {
 		return nil, err
 	}
-	b := BulkSync{
-		Topo:  topo,
-		Steps: d.Steps,
-		Texec: d.PhaseTime,
-		Bytes: 8, // one double: latency-bound
+	return b.Topo, nil
+}
+
+// Delays lists the injected one-off delays.
+func (d DivideKernel) Delays() []noise.Injection { return d.Injections }
+
+// PhaseHint returns the exact divide-phase duration.
+func (d DivideKernel) PhaseHint() sim.Time { return d.PhaseTime }
+
+// MessageHint returns the latency-bound message size.
+func (d DivideKernel) MessageHint() int { return divideMsgBytes }
+
+// WithTopology returns a copy bound to the topology.
+func (d DivideKernel) WithTopology(t topology.Topology) Workload {
+	d.Topo = t
+	return d
+}
+
+// WithInjections returns a copy carrying the extra delays.
+func (d DivideKernel) WithInjections(inj ...noise.Injection) Workload {
+	d.Injections = appendInjections(d.Injections, inj)
+	return d
+}
+
+// String renders the workload in the flag syntax ("divide:<shape>").
+func (d DivideKernel) String() string { return "divide:" + shapeLabel(d.Topo, d.Ranks) }
+
+// Programs builds the divide-kernel programs with minimal messages, on
+// an open bidirectional chain unless Topo overrides the pattern.
+func (d DivideKernel) Programs() ([]mpisim.Program, error) {
+	b, err := d.bulk()
+	if err != nil {
+		return nil, err
 	}
 	return b.Programs()
 }

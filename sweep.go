@@ -128,6 +128,42 @@ func TopologyAxis(topos ...Topology) SweepAxis {
 	}
 }
 
+// WorkloadAxis varies the kernel the scenario runs — mixing BulkSync,
+// StreamTriad, LBM, DivideKernel and custom Workloads in one sweep.
+// Labels come from each workload's String() (fmt.Stringer) when it has
+// one. A workload set this way defers wholly to the workload's own
+// shape: the base spec's Ranks/Steps/Texec/MessageBytes/
+// NeighborDistance fields are cleared, so a workload axis should not be
+// combined with RanksAxis, DistanceAxis or MessageAxis. The base spec's
+// Topology (or a TopologyAxis) rebinds each workload's decomposition,
+// and its Delay is added to each workload's own injections.
+func WorkloadAxis(wls ...Workload) SweepAxis {
+	labels := make([]string, len(wls))
+	for i, w := range wls {
+		labels[i] = workloadLabel(w)
+	}
+	return SweepAxis{
+		Name:   "workload",
+		Labels: labels,
+		Apply: func(s *ScenarioSpec, i int) {
+			s.Workload = wls[i]
+			s.Ranks = 0
+			s.Steps = 0
+			s.Texec = 0
+			s.MessageBytes = 0
+			s.NeighborDistance = 0
+		},
+	}
+}
+
+// workloadLabel names a workload in sweep output.
+func workloadLabel(w Workload) string {
+	if s, ok := w.(fmt.Stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("%T", w)
+}
+
 // SeedAxis varies the random seed — the usual way to repeat every grid
 // point under independent noise streams.
 func SeedAxis(seeds ...uint64) SweepAxis {
@@ -183,6 +219,31 @@ func MetricQuietStep() Metric {
 	return Metric{
 		Name: "quiet_step",
 		Fn:   func(r *Result) (float64, error) { return float64(r.QuietStep()), nil },
+	}
+}
+
+// MetricMemBandwidth reports the achieved per-rank memory streaming
+// bandwidth in bytes per second — defined for memory-bound workloads
+// (StreamTriad, LBM, memory-bound BulkSync); NaN otherwise.
+func MetricMemBandwidth() Metric {
+	return Metric{
+		Name: "membw_bytes_per_s",
+		Fn:   func(r *Result) (float64, error) { return r.MemBandwidth() },
+	}
+}
+
+// MetricStepTime reports the mean wall-clock time per completed step in
+// seconds — the quantity the paper's Eq. 1 performance model predicts.
+func MetricStepTime() Metric {
+	return Metric{
+		Name: "step_time_s",
+		Fn: func(r *Result) (float64, error) {
+			steps := r.Traces.Steps()
+			if steps == 0 {
+				return 0, fmt.Errorf("idlewave: no completed steps")
+			}
+			return r.End / float64(steps), nil
+		},
 	}
 }
 
@@ -271,6 +332,10 @@ func Sweep(spec SweepSpec) (*SweepTable, error) {
 			ax.Apply(&s, coords[a])
 			labels[a] = ax.Labels[coords[a]]
 		}
+		// Resolve defaults before recording the point, so the emitted
+		// spec reflects the Machine/Texec/MessageBytes that actually ran
+		// (Simulate applies the same resolution; it is idempotent).
+		s = s.withDefaults()
 		res, err := Simulate(s)
 		if err != nil {
 			return SweepPoint{}, err
@@ -322,3 +387,7 @@ func (t *SweepTable) WriteCSV(w io.Writer) error { return t.table().WriteCSV(w) 
 // WriteJSON emits the table as a JSON array of objects keyed by the
 // header names.
 func (t *SweepTable) WriteJSON(w io.Writer) error { return t.table().WriteJSON(w) }
+
+// WriteMarkdown emits the table as an aligned GitHub-flavored Markdown
+// table.
+func (t *SweepTable) WriteMarkdown(w io.Writer) error { return t.table().WriteMarkdown(w) }

@@ -1,0 +1,173 @@
+package idlewave
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpisim"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Workload is the kernel a scenario runs: the contract every workload
+// builder satisfies (validate parameters, resolve the communication
+// topology, expose injected delays, build one simulator program per
+// rank). The four paper kernels — BulkSync, StreamTriad, LBM and
+// DivideKernel — are the built-in implementations; ProcessWorkload
+// adapts process-style rank functions; anything satisfying the
+// interface runs through the same Simulate/Sweep pipeline.
+//
+// Workloads are value types: methods never mutate the receiver, so a
+// Workload can be shared across concurrent sweep jobs.
+type Workload = workload.Workload
+
+// BulkSync is the paper's canonical kernel skeleton: per time step an
+// execution phase followed by a non-blocking neighbor exchange on any
+// topology. The implicit kernel of a ScenarioSpec without a Workload.
+type BulkSync = workload.BulkSync
+
+// StreamTriad is the memory-bound MPI STREAM triad proxy of Fig. 1:
+// the working set splits evenly across ranks, each loop traversal ends
+// in a fixed-size neighbor exchange on a closed ring (or any topology).
+type StreamTriad = workload.StreamTriad
+
+// LBM is the Lattice-Boltzmann proxy of Fig. 2: a D3Q19 solver slab-
+// decomposed across ranks, streaming its lattice through the socket and
+// exchanging face halos each step.
+type LBM = workload.LBM
+
+// DivideKernel is the compute-bound noise-characterization kernel of
+// Fig. 3: exactly-timed divide phases alternating with latency-bound
+// next-neighbor messages.
+type DivideKernel = workload.DivideKernel
+
+// NewBulkSync builds a validated bulk-synchronous workload on the given
+// topology: steps compute-communicate iterations of texec execution
+// phases and messageBytes-sized neighbor messages, with optional
+// injected delays.
+func NewBulkSync(topo Topology, steps int, texec time.Duration, messageBytes int, delays ...Injection) (BulkSync, error) {
+	b := BulkSync{
+		Topo:       topo,
+		Steps:      steps,
+		Texec:      sim.Time(texec.Seconds()),
+		Bytes:      messageBytes,
+		Injections: delays,
+	}
+	if err := b.Validate(); err != nil {
+		return BulkSync{}, fmt.Errorf("idlewave: %w", err)
+	}
+	return b, nil
+}
+
+// NewStreamTriad builds a validated STREAM-triad workload: the total
+// workingSetBytes split across ranks (the paper's V_mem = 1.2e9), with
+// messageBytes exchanged per neighbor each step (V_net = 2e6). Set the
+// Topo field afterwards to replace the default ring decomposition.
+func NewStreamTriad(ranks, steps int, workingSetBytes float64, messageBytes int) (StreamTriad, error) {
+	t := StreamTriad{Ranks: ranks, Steps: steps, WorkingSet: workingSetBytes, MessageBytes: messageBytes}
+	if err := t.Validate(); err != nil {
+		return StreamTriad{}, fmt.Errorf("idlewave: %w", err)
+	}
+	return t, nil
+}
+
+// NewLBM builds a validated Lattice-Boltzmann proxy on a cubic domain
+// of cellsPerDim^3 cells (302 in the paper), slab-decomposed across
+// ranks. Set the Topo field afterwards for pencil/block decompositions.
+func NewLBM(ranks, steps, cellsPerDim int) (LBM, error) {
+	l := LBM{Ranks: ranks, Steps: steps, CellsPerDim: cellsPerDim}
+	if err := l.Validate(); err != nil {
+		return LBM{}, fmt.Errorf("idlewave: %w", err)
+	}
+	return l, nil
+}
+
+// NewDivideKernel builds a validated divide kernel with exactly-timed
+// phases of the given length (3 ms in the paper).
+func NewDivideKernel(ranks, steps int, phaseTime time.Duration) (DivideKernel, error) {
+	d := DivideKernel{Ranks: ranks, Steps: steps, PhaseTime: sim.Time(phaseTime.Seconds())}
+	if err := d.Validate(); err != nil {
+		return DivideKernel{}, fmt.Errorf("idlewave: %w", err)
+	}
+	return d, nil
+}
+
+// ParseWorkload builds a workload from the command-line flag syntax,
+// parallel to ParseTopology:
+//
+//	triad:<shape>[:steps=<n>][:ws=<bytes>][:msg=<bytes>]
+//	lbm:<shape>[:steps=<n>][:cells=<n>]
+//	divide:<shape>[:steps=<n>][:phase=<duration>]
+//	bulk:<shape>[:steps=<n>][:texec=<duration>][:bytes=<n>][:topology option...]
+//
+// <shape> is a rank count ("triad:18") or grid extents ("lbm:16x16",
+// a fully periodic torus decomposition). Steps default to 24 when no
+// steps= option is given. See cmd/idlewave -workload and cmd/sweep
+// -workload.
+func ParseWorkload(s string) (Workload, error) { return workload.Parse(s) }
+
+// ProcessWorkload adapts a process-style rank function (written against
+// Comm: Compute/Isend/Irecv/Waitall and collectives) to the Workload
+// interface, so hand-written programs run through the same Simulate
+// pipeline as the built-in kernels. Topo is optional; when it declares
+// the communication structure the function implements, results gain the
+// topology-bound analytics (WaveSpeed, WaveDecay, ShellArrivals).
+type ProcessWorkload struct {
+	// Ranks is the number of processes.
+	Ranks int
+	// Fn is recorded once per rank to build that rank's program.
+	Fn func(*Comm)
+	// Topo optionally declares the communication structure; its rank
+	// count must match Ranks.
+	Topo Topology
+}
+
+// Validate checks the adapter parameters.
+func (p ProcessWorkload) Validate() error {
+	if p.Ranks <= 0 {
+		return fmt.Errorf("workload: process workload needs a positive rank count, got %d", p.Ranks)
+	}
+	if p.Fn == nil {
+		return fmt.Errorf("workload: process workload needs a rank function")
+	}
+	if p.Topo != nil && p.Topo.Ranks() != p.Ranks {
+		return fmt.Errorf("workload: topology %v has %d ranks, process workload declares %d",
+			p.Topo, p.Topo.Ranks(), p.Ranks)
+	}
+	return nil
+}
+
+// Topology returns the declared topology (nil when none was given;
+// topology-bound analytics are then unavailable).
+func (p ProcessWorkload) Topology() (Topology, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.Topo, nil
+}
+
+// Delays returns nil: process-style delays live inside Fn (Comm.Delay).
+func (p ProcessWorkload) Delays() []Injection { return nil }
+
+// WithTopology returns a copy bound to the topology.
+func (p ProcessWorkload) WithTopology(t Topology) Workload {
+	p.Topo = t
+	return p
+}
+
+// String labels the adapter for sweep tables.
+func (p ProcessWorkload) String() string { return fmt.Sprintf("proc:%d", p.Ranks) }
+
+// Programs records Fn once per rank.
+func (p ProcessWorkload) Programs() ([]mpisim.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return proc.Record(p.Ranks, p.Fn)
+}
+
+var (
+	_ Workload              = ProcessWorkload{}
+	_ workload.Retargetable = ProcessWorkload{}
+)

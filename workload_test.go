@@ -1,0 +1,401 @@
+package idlewave
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllKernelsRunThroughSimulate is the acceptance check of the
+// workload-first API: every paper kernel runs through the one public
+// pipeline and yields working analytics.
+func TestAllKernelsRunThroughSimulate(t *testing.T) {
+	chain, err := NewChain(12, 1, Bidirectional, Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := NewBulkSync(chain, 10, 3*time.Millisecond, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triad, err := NewStreamTriad(12, 10, 1.2e9, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbm, err := NewLBM(12, 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divide, err := NewDivideKernel(12, 10, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range []Workload{bulk, triad, lbm, divide} {
+		res, err := Simulate(ScenarioSpec{
+			Machine:  Simulated(),
+			Workload: wl,
+			Delay:    []Injection{Inject(3, 1, 60*time.Millisecond)},
+		})
+		if err != nil {
+			t.Errorf("%v: %v", wl, err)
+			continue
+		}
+		if res.End <= 0 || res.Events == 0 {
+			t.Errorf("%v: implausible result end=%v events=%d", wl, res.End, res.Events)
+		}
+		if res.Topology() == nil {
+			t.Errorf("%v: no topology on result", wl)
+		}
+		if res.TotalIdle() <= 0 {
+			t.Errorf("%v: no idle time despite a 60 ms delay", wl)
+		}
+		if _, err := res.WaveSpeed(3); err != nil {
+			t.Errorf("%v: WaveSpeed: %v", wl, err)
+		}
+	}
+}
+
+// TestNilWorkloadMatchesExplicitBulkSync pins the pipeline fold: a
+// nil-Workload chain spec and the equivalent explicit BulkSync workload
+// produce identical traces.
+func TestNilWorkloadMatchesExplicitBulkSync(t *testing.T) {
+	implicit, err := Simulate(ScenarioSpec{
+		Machine: Simulated(),
+		Ranks:   14, Steps: 12,
+		Delay:    []Injection{Inject(7, 1, 13500*time.Microsecond)},
+		Boundary: Periodic,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := NewChain(14, 1, Unidirectional, Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := NewBulkSync(ring, 12, 3*time.Millisecond, 8192, Inject(7, 1, 13500*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Simulate(ScenarioSpec{Machine: Simulated(), Workload: bulk, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.End != explicit.End || implicit.Events != explicit.Events {
+		t.Errorf("implicit end=%v events=%d, explicit end=%v events=%d",
+			implicit.End, implicit.Events, explicit.End, explicit.Events)
+	}
+	if implicit.TotalIdle() != explicit.TotalIdle() {
+		t.Errorf("idle differs: %g vs %g", implicit.TotalIdle(), explicit.TotalIdle())
+	}
+}
+
+// TestWorkloadSpecValidation covers the spec/workload interplay rules.
+func TestWorkloadSpecValidation(t *testing.T) {
+	divide, err := NewDivideKernel(8, 6, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps conflicts with a workload's own step count.
+	if _, err := Simulate(ScenarioSpec{Workload: divide, Steps: 9}); err == nil {
+		t.Error("Steps alongside Workload accepted")
+	}
+	// NeighborDistance is chain-only.
+	if _, err := Simulate(ScenarioSpec{Workload: divide, NeighborDistance: 2}); err == nil {
+		t.Error("NeighborDistance alongside Workload accepted")
+	}
+	// Ranks must agree with the workload topology.
+	if _, err := Simulate(ScenarioSpec{Workload: divide, Ranks: 9}); err == nil {
+		t.Error("conflicting Ranks accepted")
+	}
+	if _, err := Simulate(ScenarioSpec{Workload: divide, Ranks: 8}); err != nil {
+		t.Errorf("matching Ranks rejected: %v", err)
+	}
+	// Delays flow onto the workload and are range-checked there.
+	if _, err := Simulate(ScenarioSpec{Workload: divide, Delay: []Injection{Inject(99, 0, time.Millisecond)}}); err == nil {
+		t.Error("out-of-range delay accepted")
+	}
+	// spec.Topology rebinds the workload's decomposition.
+	torus, err := Torus2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triad, err := NewStreamTriad(16, 6, 1.2e9, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(ScenarioSpec{Machine: Simulated(), Workload: triad, Topology: torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology() == nil || res.Topology().String() != torus.String() {
+		t.Errorf("topology not rebound: %v", res.Topology())
+	}
+	// A mismatched rebind is rejected.
+	if _, err := Simulate(ScenarioSpec{Workload: triad, Topology: mustTorus(t, 3, 3)}); err == nil {
+		t.Error("mismatched topology rebind accepted")
+	}
+}
+
+func mustTorus(t *testing.T, ny, nx int) Grid {
+	t.Helper()
+	g, err := Torus2D(ny, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestProcessWorkloadGainsTopologyAnalytics pins the RunProcesses fold:
+// a process-style program run through Simulate with a declared topology
+// gains the wave analytics plain RunProcesses results never had.
+func TestProcessWorkloadGainsTopologyAnalytics(t *testing.T) {
+	ring, err := NewChain(16, 1, Bidirectional, Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(c *Comm) {
+		for s := 0; s < 14; s++ {
+			if c.Rank() == 8 && s == 1 {
+				c.Delay(13500 * time.Microsecond)
+			}
+			c.Compute(3 * time.Millisecond)
+			c.Isend((c.Rank()+1)%c.Size(), 8192)
+			c.Isend((c.Rank()-1+c.Size())%c.Size(), 8192)
+			c.Irecv((c.Rank()-1+c.Size())%c.Size(), 8192)
+			c.Irecv((c.Rank()+1)%c.Size(), 8192)
+			c.Waitall()
+		}
+	}
+	res, err := Simulate(ScenarioSpec{
+		Machine:  Simulated(),
+		Workload: ProcessWorkload{Ranks: 16, Fn: fn, Topo: ring},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.WaveSpeed(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictSpeed(true, false, 1, 3*time.Millisecond, 10*time.Microsecond)
+	if math.Abs(v-want)/want > 0.1 {
+		t.Errorf("process-workload wave speed %.1f, Eq.2 predicts %.1f", v, want)
+	}
+	// Without a declared topology the analytics degrade as before.
+	bare, err := RunProcesses(Simulated(), 8, 1, func(c *Comm) {
+		c.Compute(time.Millisecond)
+		c.EndStep()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.WaveSpeed(0); err == nil {
+		t.Error("WaveSpeed without topology did not error")
+	}
+}
+
+// TestMemBandwidthMetric pins the achieved-bandwidth analytics: a
+// memory-bound kernel streams at most its socket's bandwidth and at
+// least the fair share; compute-bound kernels report an error.
+func TestMemBandwidthMetric(t *testing.T) {
+	lbm, err := NewLBM(20, 8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(ScenarioSpec{Machine: Simulated(), Workload: lbm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := res.MemBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Simulated()
+	fair := m.MemBandwidth / float64(m.CoresPerSocket)
+	if bw < 0.5*fair || bw > m.MemBandwidth {
+		t.Errorf("achieved bandwidth %.2g B/s outside (%.2g, %.2g)", bw, 0.5*fair, m.MemBandwidth)
+	}
+	divide, err := NewDivideKernel(8, 6, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := Simulate(ScenarioSpec{Machine: Simulated(), Workload: divide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cres.MemBandwidth(); err == nil {
+		t.Error("MemBandwidth on a compute-bound kernel did not error")
+	}
+}
+
+// TestFrontCacheConsistency pins that the per-source front cache does
+// not change analytics results: repeated and interleaved calls agree
+// with a freshly tracked front.
+func TestFrontCacheConsistency(t *testing.T) {
+	res, err := Simulate(ScenarioSpec{
+		Machine: Simulated(),
+		Ranks:   18, Steps: 16,
+		Delay:    []Injection{Inject(9, 1, 13500*time.Microsecond)},
+		Boundary: Periodic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := res.WaveSpeed(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := res.WaveDecay(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := res.ShellArrivals(9)
+	// Second round hits the cache; results must be identical.
+	v2, _ := res.WaveSpeed(9)
+	d2, _ := res.WaveDecay(9)
+	s2 := res.ShellArrivals(9)
+	if v1 != v2 || d1 != d2 || len(s1) != len(s2) {
+		t.Errorf("cached analytics differ: v %g/%g d %g/%g shells %d/%d",
+			v1, v2, d1, d2, len(s1), len(s2))
+	}
+	// A different source gets its own front.
+	fresh := res.trackFront(3)
+	cached := res.front(3)
+	if len(fresh.Samples) != len(cached.Samples) {
+		t.Errorf("cache for a second source differs: %d vs %d samples",
+			len(cached.Samples), len(fresh.Samples))
+	}
+}
+
+// TestParseWorkloadPublic exercises the public flag-syntax entry point.
+func TestParseWorkloadPublic(t *testing.T) {
+	wl, err := ParseWorkload("lbm:16:cells=90:steps=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := wl.(LBM)
+	if !ok || l.Ranks != 16 || l.CellsPerDim != 90 || l.Steps != 8 {
+		t.Errorf("parsed workload = %#v", wl)
+	}
+	if _, err := Simulate(ScenarioSpec{Machine: Simulated(), Workload: wl}); err != nil {
+		t.Errorf("parsed workload does not simulate: %v", err)
+	}
+	if _, err := ParseWorkload("warp:9"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestWorkloadSweepDeterministicAcrossWorkers pins the determinism
+// contract for workload axes: a fixed-seed sweep over kernels and noise
+// levels emits byte-identical CSV at Workers=1 and Workers=max.
+func TestWorkloadSweepDeterministicAcrossWorkers(t *testing.T) {
+	triad, err := NewStreamTriad(10, 8, 2.4e8, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbm, err := NewLBM(10, 8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divide, err := NewDivideKernel(10, 8, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(workers int) string {
+		tbl, err := Sweep(SweepSpec{
+			Base: ScenarioSpec{
+				Machine: Emmy(), // natural noise exercises the seeded streams
+				Delay:   []Injection{Inject(2, 1, 20*time.Millisecond)},
+				Seed:    42,
+			},
+			Axes: []SweepAxis{
+				WorkloadAxis(triad, lbm, divide),
+				NoiseAxis(0, 0.05),
+			},
+			Metrics: []Metric{MetricTotalIdle(), MetricRuntime(), MetricMemBandwidth()},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := tbl.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := build(1)
+	parallel := build(0)
+	if serial != parallel {
+		t.Errorf("workload sweep differs between Workers=1 and Workers=max:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "triad:10") || !strings.Contains(serial, "divide:10") {
+		t.Errorf("workload labels missing from output:\n%s", serial)
+	}
+}
+
+// TestSweepPointSpecRecordsResolvedDefaults pins the satellite fix:
+// emitted sweep specs carry the Machine/Texec/MessageBytes that
+// actually ran, not the zero values of the base spec.
+func TestSweepPointSpecRecordsResolvedDefaults(t *testing.T) {
+	tbl, err := Sweep(SweepSpec{
+		Base: ScenarioSpec{Ranks: 8, Steps: 5}, // Machine, Texec, MessageBytes all defaulted
+		Axes: []SweepAxis{NoiseAxis(0)},
+		Metrics: []Metric{
+			MetricRuntime(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tbl.Points[0].Spec
+	if spec.Machine.Name != Emmy().Name {
+		t.Errorf("recorded machine = %q, want resolved default %q", spec.Machine.Name, Emmy().Name)
+	}
+	if spec.Texec != 3*time.Millisecond {
+		t.Errorf("recorded texec = %v, want resolved default 3ms", spec.Texec)
+	}
+	if spec.MessageBytes != 8192 {
+		t.Errorf("recorded message bytes = %d, want resolved default 8192", spec.MessageBytes)
+	}
+}
+
+// TestSweepTableWriteMarkdown pins the Markdown emitter: aligned
+// GitHub-flavored output with escaped cells.
+func TestSweepTableWriteMarkdown(t *testing.T) {
+	tbl, err := Sweep(SweepSpec{
+		Base: ScenarioSpec{
+			Ranks: 10, Steps: 8,
+			Machine: Simulated(),
+			Delay:   []Injection{Inject(5, 1, 12*time.Millisecond)},
+		},
+		Axes:    []SweepAxis{DistanceAxis(1, 2)},
+		Metrics: []Metric{MetricQuietStep()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tbl.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("markdown lines = %d, want header + delimiter + 2 rows:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "| d ") || !strings.Contains(lines[0], "| quiet_step |") {
+		t.Errorf("markdown header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "| ---") {
+		t.Errorf("markdown delimiter = %q", lines[1])
+	}
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) != width {
+			t.Errorf("line %d not aligned: %d chars vs %d:\n%s", i, len(l), width, b.String())
+		}
+	}
+}
