@@ -1,0 +1,210 @@
+// Package bench defines the repository's fixed performance suite: five
+// benchmarks spanning the layers every experiment funnels through — the
+// raw discrete-event engine, a 1-D chain idle wave, a 2-D torus halo
+// exchange, the memory-bound LBM proxy, and a many-seed noise sweep.
+//
+// The suite is consumed two ways: bench_test.go wraps every case as an
+// ordinary `go test -bench` benchmark, and cmd/bench runs the same cases
+// through testing.Benchmark and emits a machine-readable JSON trajectory
+// file (ns/op, allocs/op, events/sec) so perf regressions are visible
+// PR-over-PR instead of anecdotally.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/mpisim"
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Case is one suite entry. F must call b.ReportAllocs and report an
+// "events/op" metric when simulator events are a meaningful throughput
+// unit (0 omits the events/sec column in the JSON output).
+type Case struct {
+	Name string
+	// Detail is a one-line description for reports.
+	Detail string
+	F      func(b *testing.B)
+}
+
+// Suite returns the fixed benchmark suite in its canonical order.
+func Suite() []Case {
+	return []Case{
+		{"EngineSchedule", "engine microbenchmark: schedule+run 1024 pending events", EngineSchedule},
+		{"ChainWave1D", "64-rank open chain, 30 steps, eager protocol, center delay", ChainWave1D},
+		{"Torus2D", "16x16 periodic torus halo exchange, 20 steps, center delay", Torus2D},
+		{"LBMMemBound", "16-rank memory-bound LBM proxy with socket bandwidth sharing", LBMMemBound},
+		{"NoiseSweep", "8-seed exponential-noise sweep on a 32-rank ring", NoiseSweep},
+	}
+}
+
+// nopEvent is the no-payload handler for the engine microbenchmark; a
+// package-level func so the benchmark measures the engine's own
+// allocations, not closure construction at the call site.
+func nopEvent() {}
+
+// engineBatch is the number of events scheduled per EngineSchedule
+// iteration; large enough that heap growth amortizes away and per-event
+// cost dominates.
+const engineBatch = 1024
+
+// EngineSchedule measures the engine hot path in isolation: schedule a
+// batch of future events on a long-lived engine, then drain it. With the
+// per-engine event pool this is allocation-free in steady state.
+func EngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	var e sim.Engine
+	// One warm-up batch populates the free list and grows the heap slice
+	// so the timed loop sees steady state.
+	runEngineBatch(&e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runEngineBatch(&e)
+	}
+	b.ReportMetric(engineBatch, "events/op")
+}
+
+func runEngineBatch(e *sim.Engine) {
+	now := e.Now()
+	for j := 0; j < engineBatch; j++ {
+		e.Schedule(now+sim.Time(j), nopEvent)
+	}
+	e.Run()
+}
+
+// mpiCase bundles a prebuilt workload run for the simulator benchmarks.
+type mpiCase struct {
+	cfg   mpisim.Config
+	progs []mpisim.Program
+}
+
+// run executes the case b.N times and reports allocations and events/op.
+func (c mpiCase) run(b *testing.B) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := mpisim.Run(c.cfg, c.progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// hockney is the suite's default network: 2 us latency, 3 GB/s,
+// 128 KiB eager limit (the Fig. 4 configuration).
+func hockney(b *testing.B) netmodel.Model {
+	b.Helper()
+	net, err := netmodel.NewHockney(sim.Micro(2), 3e9, 1<<17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// ChainWave1D is the paper's canonical propagation experiment at
+// benchmark scale: an idle wave on an open bidirectional chain.
+func ChainWave1D(b *testing.B) {
+	const ranks, steps = 64, 30
+	chain, err := topology.NewChain(ranks, 1, topology.Bidirectional, topology.Open)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.BulkSync{
+		Topo: chain, Steps: steps, Texec: sim.Milli(3), Bytes: 8192,
+		Injections: []noise.Injection{{Rank: ranks / 2, Step: 2, Duration: sim.Milli(15)}},
+	}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mpiCase{cfg: mpisim.Config{Ranks: ranks, Net: hockney(b)}, progs: progs}.run(b)
+}
+
+// Torus2D is the multi-dimensional halo-exchange regime: a 16x16
+// periodic torus with four neighbors per rank.
+func Torus2D(b *testing.B) {
+	const steps = 20
+	torus, err := topology.Torus2D(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranks := torus.Ranks()
+	wl := workload.BulkSync{
+		Topo: torus, Steps: steps, Texec: sim.Milli(3), Bytes: 8192,
+		Injections: []noise.Injection{{Rank: ranks / 2, Step: 2, Duration: sim.Milli(15)}},
+	}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mpiCase{cfg: mpisim.Config{Ranks: ranks, Net: hockney(b)}, progs: progs}.run(b)
+}
+
+// LBMMemBound exercises the memory-bound path: the D3Q19 LBM proxy with
+// processor-sharing socket bandwidth and rendezvous-sized halos.
+func LBMMemBound(b *testing.B) {
+	const ranks, steps = 16, 20
+	wl := workload.LBM{Ranks: ranks, Steps: steps, CellsPerDim: 64}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mpisim.Config{
+		Ranks:           ranks,
+		Net:             hockney(b),
+		SocketOf:        func(rank int) int { return rank / 8 },
+		SocketBandwidth: 40e9,
+		CoreBandwidth:   8e9,
+	}
+	mpiCase{cfg: cfg, progs: progs}.run(b)
+}
+
+// noiseSeeds is the per-iteration seed count of NoiseSweep: the
+// many-seed statistics regime of the paper's decay-rate scans.
+const noiseSeeds = 8
+
+// NoiseSweep runs the same ring workload under eight different
+// exponential fine-grained noise seeds per iteration.
+func NoiseSweep(b *testing.B) {
+	const ranks, steps = 32, 20
+	texec := sim.Milli(3)
+	ring, err := topology.NewChain(ranks, 1, topology.Bidirectional, topology.Periodic)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.BulkSync{
+		Topo: ring, Steps: steps, Texec: texec, Bytes: 8192,
+		Injections: []noise.Injection{{Rank: 0, Step: 2, Duration: sim.Milli(15)}},
+	}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := hockney(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events = 0
+		for seed := uint64(1); seed <= noiseSeeds; seed++ {
+			cfg := mpisim.Config{
+				Ranks: ranks, Net: net,
+				Noise: noise.Exponential(seed, 0.10, texec),
+			}
+			res, err := mpisim.Run(cfg, progs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+		}
+	}
+	b.ReportMetric(float64(events), "events/op")
+}

@@ -1,0 +1,30 @@
+// Standard `go test -bench` wrappers around the fixed suite, so the
+// cases run under the normal benchmark driver (CI smoke uses
+// -benchtime=1x) as well as through cmd/bench.
+package bench
+
+import "testing"
+
+func BenchmarkEngineSchedule(b *testing.B) { EngineSchedule(b) }
+func BenchmarkChainWave1D(b *testing.B)    { ChainWave1D(b) }
+func BenchmarkTorus2D(b *testing.B)        { Torus2D(b) }
+func BenchmarkLBMMemBound(b *testing.B)    { LBMMemBound(b) }
+func BenchmarkNoiseSweep(b *testing.B)     { NoiseSweep(b) }
+
+// TestSuiteNamesMatchWrappers pins the suite order and names, so the
+// JSON trajectory and the -bench output stay in sync.
+func TestSuiteNamesMatchWrappers(t *testing.T) {
+	want := []string{"EngineSchedule", "ChainWave1D", "Torus2D", "LBMMemBound", "NoiseSweep"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d cases, want %d", len(suite), len(want))
+	}
+	for i, c := range suite {
+		if c.Name != want[i] {
+			t.Errorf("case %d named %q, want %q", i, c.Name, want[i])
+		}
+		if c.F == nil {
+			t.Errorf("case %q has nil function", c.Name)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Command bench runs the repository's fixed performance suite (see
+// package bench) through testing.Benchmark and writes a machine-readable
+// JSON report: ns/op, allocs/op, bytes/op and events/sec per case.
+//
+// Usage:
+//
+//	bench                            # print the report to stdout
+//	bench -o BENCH_pr4.json          # write the report to a file
+//	bench -baseline old.json -o new.json   # embed a baseline + speedups
+//	bench -run Chain,Torus           # run a subset of the suite
+//
+// With -baseline, the previous report's numbers are embedded under
+// "baseline" and per-case speedup ratios (old/new ns/op, old/new
+// allocs/op) under "vs_baseline", giving PRs a perf trajectory to quote.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/bench"
+)
+
+// caseResult is one benchmark's measured numbers.
+type caseResult struct {
+	Name         string  `json:"name"`
+	Detail       string  `json:"detail,omitempty"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerOp  float64 `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// comparison is a case's ratio against the baseline report.
+type comparison struct {
+	Name      string  `json:"name"`
+	SpeedupNs float64 `json:"speedup_ns_per_op"` // baseline / current; >1 is faster
+	// AllocsRatio is baseline / current allocs/op (>1 is fewer allocs).
+	// Omitted when the current run allocates nothing — the ratio is not
+	// finite then; read the absolute counts from benchmarks/baseline.
+	AllocsRatio  float64 `json:"allocs_ratio,omitempty"`
+	EventsFactor float64 `json:"events_rate_factor,omitempty"` // current / baseline events/sec
+}
+
+// report is the full JSON document.
+type report struct {
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	Benchmarks []caseResult `json:"benchmarks"`
+	Baseline   *report      `json:"baseline,omitempty"`
+	VsBaseline []comparison `json:"vs_baseline,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write the JSON report to this file (default stdout)")
+		baseline = flag.String("baseline", "", "embed this previous report and compute speedups against it")
+		filter   = flag.String("run", "", "comma-separated case-name substrings to run (default: all)")
+	)
+	flag.Parse()
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	for _, c := range bench.Suite() {
+		if !selected(c.Name, *filter) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "bench: running %s...\n", c.Name)
+		res := testing.Benchmark(c.F)
+		cr := caseResult{
+			Name:        c.Name,
+			Detail:      c.Detail,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		}
+		if ev, ok := res.Extra["events/op"]; ok && ev > 0 && cr.NsPerOp > 0 {
+			cr.EventsPerOp = ev
+			cr.EventsPerSec = ev / (cr.NsPerOp * 1e-9)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, cr)
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		// Baselines nest one level deep at most: drop the old baseline's
+		// own history so trajectory files do not grow without bound.
+		base.Baseline = nil
+		base.VsBaseline = nil
+		rep.Baseline = base
+		rep.VsBaseline = compare(rep.Benchmarks, base.Benchmarks)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, c := range rep.VsBaseline {
+		allocs := fmt.Sprintf("%.2fx fewer allocs", c.AllocsRatio)
+		if c.AllocsRatio == 0 {
+			allocs = "now allocation-free"
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-16s %.2fx faster, %s\n", c.Name, c.SpeedupNs, allocs)
+	}
+}
+
+func selected(name, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, part := range strings.Split(filter, ",") {
+		if part = strings.TrimSpace(part); part != "" && strings.Contains(name, part) {
+			return true
+		}
+	}
+	return false
+}
+
+func readReport(path string) (*report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func compare(cur, base []caseResult) []comparison {
+	byName := make(map[string]caseResult, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []comparison
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok || c.NsPerOp <= 0 {
+			continue
+		}
+		cmp := comparison{Name: c.Name, SpeedupNs: b.NsPerOp / c.NsPerOp}
+		if c.AllocsPerOp > 0 {
+			cmp.AllocsRatio = b.AllocsPerOp / c.AllocsPerOp
+		}
+		// A current count of zero has no finite ratio; the field stays
+		// unset and the absolute counts tell the story.
+		if b.EventsPerSec > 0 && c.EventsPerSec > 0 {
+			cmp.EventsFactor = c.EventsPerSec / b.EventsPerSec
+		}
+		out = append(out, cmp)
+	}
+	return out
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -24,10 +25,18 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "random seed")
 		full    = flag.Bool("full", false, "run full (paper-scale) problem sizes")
 		workers = flag.Int("workers", 0, "sweep-engine worker pool size (0 = all cores)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at the end")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	// stop must run before any exit: os.Exit skips deferred calls.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}
@@ -36,11 +45,13 @@ func main() {
 		start := time.Now()
 		rep, err := core.Run(id, opts)
 		if err != nil {
+			stopProf()
 			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		txt := filepath.Join(*out, id+".txt")
 		if err := os.WriteFile(txt, []byte(rep.String()), 0o644); err != nil {
+			stopProf()
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
 		}
@@ -50,9 +61,14 @@ func main() {
 			csv.WriteByte('\n')
 		}
 		if err := os.WriteFile(filepath.Join(*out, id+".csv"), []byte(csv.String()), 0o644); err != nil {
+			stopProf()
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("%-5s -> %s (%.1fs)\n", id, txt, time.Since(start).Seconds())
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -38,6 +38,7 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/profiling"
 	"repro/internal/viz"
 	"repro/internal/workload"
 )
@@ -66,6 +67,9 @@ func main() {
 		format   = flag.String("format", "table", "output format: table, csv, json or markdown")
 		outFile  = flag.String("o", "", "write output to a file instead of stdout")
 		bench    = flag.Bool("bench", false, "time the grid with workers=1 and the requested pool, report the speedup")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file when the sweep finishes")
 	)
 	flag.Parse()
 
@@ -105,8 +109,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Profile only the sweep itself, not flag parsing or output
+	// formatting. stop must run before any exit: os.Exit skips defers.
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *bench {
-		if err := runBench(spec); err != nil {
+		err := runBench(spec)
+		if perr := stopProf(); err == nil {
+			err = perr
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			os.Exit(1)
 		}
@@ -114,6 +130,9 @@ func main() {
 	}
 
 	tbl, err := idlewave.Sweep(spec)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)

@@ -20,22 +20,71 @@ import (
 	"repro/internal/sim"
 )
 
-// Phase is one active memory-bound execution phase on a socket.
+// Phase is one active memory-bound execution phase on a socket. The
+// completion action is stored in either closure form (onDone) or typed-
+// callback form (callFn + arg); see Socket.StartCall.
+//
+// Phases are pooled per socket: a *Phase handle is valid until the
+// phase's completion action has run, after which the socket may reuse
+// the object for a later Start. Don't retain handles past completion
+// (the same rule as the engine's Event handles).
 type Phase struct {
 	remaining float64 // bytes still to transfer
 	onDone    func()
+	callFn    func(any)
+	arg       any
 	socket    *Socket
 	done      bool
 }
 
+// fire invokes the phase's completion action in whichever form it was
+// registered.
+func (p *Phase) fire() {
+	if p.callFn != nil {
+		p.callFn(p.arg)
+		return
+	}
+	p.onDone()
+}
+
 // Socket is the processor-sharing bandwidth resource of one socket.
+//
+// The active set is a slice, not a map: iteration order is then the
+// phase start order, which is deterministic. (Completion order among
+// phases finishing at the same instant never affects simulation
+// results — equal remaining volumes reach zero at the same virtual time
+// regardless of traversal — but deterministic traversal keeps the event
+// sequence reproducible byte for byte.)
 type Socket struct {
 	engine    *sim.Engine
 	bandwidth float64 // bytes per second, aggregate
 	phaseCap  float64 // per-phase bandwidth ceiling; 0 = none
-	active    map[*Phase]struct{}
+	active    []*Phase
+	finished  []*Phase   // scratch for complete(), reused across calls
+	free      []*Phase   // phase pool; see the Phase handle rule
 	lastT     sim.Time   // virtual time of the last re-integration
 	next      *sim.Event // pending earliest-completion event
+}
+
+// newPhase takes a phase from the pool, or allocates a fresh one.
+func (s *Socket) newPhase() *Phase {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free = s.free[:n-1]
+		*p = Phase{socket: s}
+		return p
+	}
+	return &Phase{socket: s}
+}
+
+// recycle returns a completed phase to the pool, clearing the action
+// references so the pool does not retain garbage. The done flag stays
+// set until reuse, so a stale handle still reads Done() == true.
+func (s *Socket) recycle(p *Phase) {
+	p.onDone = nil
+	p.callFn = nil
+	p.arg = nil
+	s.free = append(s.free, p)
 }
 
 // NewSocket creates a socket resource with the given aggregate memory
@@ -63,7 +112,6 @@ func NewSocketCapped(engine *sim.Engine, bandwidth, perPhaseCap float64) (*Socke
 		engine:    engine,
 		bandwidth: bandwidth,
 		phaseCap:  perPhaseCap,
-		active:    make(map[*Phase]struct{}),
 	}, nil
 }
 
@@ -79,6 +127,10 @@ func (s *Socket) rate(k int) float64 {
 // Active returns the number of phases currently sharing the socket.
 func (s *Socket) Active() int { return len(s.active) }
 
+// socketComplete adapts Socket.complete to the engine's typed-callback
+// form, so rescheduling does not allocate a method-value closure.
+func socketComplete(arg any) { arg.(*Socket).complete() }
+
 // Start begins a memory-bound phase that must move the given number of
 // bytes. onDone runs (as a simulation event) when the phase completes.
 // A non-positive volume completes immediately at the current time.
@@ -86,16 +138,46 @@ func (s *Socket) Start(bytes float64, onDone func()) *Phase {
 	if onDone == nil {
 		panic("memband: Start with nil onDone")
 	}
-	p := &Phase{remaining: bytes, onDone: onDone, socket: s}
+	p := s.newPhase()
+	p.remaining = bytes
+	p.onDone = onDone
+	return s.start(p, bytes)
+}
+
+// StartCall is the typed-callback form of Start: fn(arg) runs when the
+// phase completes. With a package-level fn and pointer-shaped arg this
+// registers the completion without allocating a capture closure, which
+// matters to memory-bound simulations starting one phase per rank per
+// time step.
+func (s *Socket) StartCall(bytes float64, fn func(any), arg any) *Phase {
+	if fn == nil {
+		panic("memband: StartCall with nil fn")
+	}
+	p := s.newPhase()
+	p.remaining = bytes
+	p.callFn = fn
+	p.arg = arg
+	return s.start(p, bytes)
+}
+
+func (s *Socket) start(p *Phase, bytes float64) *Phase {
 	if bytes <= 0 {
 		p.done = true
-		s.engine.After(0, onDone)
+		s.engine.AfterCall(0, firePhase, p)
 		return p
 	}
 	s.integrate()
-	s.active[p] = struct{}{}
+	s.active = append(s.active, p)
 	s.reschedule()
 	return p
+}
+
+// firePhase adapts Phase.fire to the engine's typed-callback form (the
+// zero-volume immediate-completion path) and recycles the phase.
+func firePhase(arg any) {
+	p := arg.(*Phase)
+	p.fire()
+	p.socket.recycle(p)
 }
 
 // integrate advances all active phases' remaining work from lastT to now
@@ -106,7 +188,7 @@ func (s *Socket) integrate() {
 		dt := float64(now - s.lastT)
 		if dt > 0 {
 			rate := s.rate(k)
-			for p := range s.active {
+			for _, p := range s.active {
 				p.remaining -= rate * dt
 				if p.remaining < 0 {
 					p.remaining = 0
@@ -128,20 +210,18 @@ func (s *Socket) reschedule() {
 	if k == 0 {
 		return
 	}
-	var first *Phase
-	for p := range s.active {
-		if first == nil || p.remaining < first.remaining {
+	first := s.active[0]
+	for _, p := range s.active[1:] {
+		if p.remaining < first.remaining {
 			first = p
-		} else if p.remaining == first.remaining {
-			// Deterministic tie-break not needed for correctness: equal
-			// remaining volumes finish at the same virtual time and each
-			// gets its own completion pass.
-			continue
 		}
+		// Ties keep the earliest-started phase; equal remaining volumes
+		// finish at the same virtual time either way and each gets its
+		// own completion pass.
 	}
 	perPhaseRate := s.rate(k)
 	dt := sim.Time(first.remaining / perPhaseRate)
-	s.next = s.engine.After(dt, s.complete)
+	s.next = s.engine.AfterCall(dt, socketComplete, s)
 }
 
 // complete fires when the earliest phase(s) reach zero remaining work.
@@ -158,21 +238,28 @@ func (s *Socket) complete() {
 	if eps < 1e-12 {
 		eps = 1e-12
 	}
-	var finished []*Phase
-	for p := range s.active {
+	s.finished = s.finished[:0]
+	keep := s.active[:0]
+	for _, p := range s.active {
 		if p.remaining <= eps {
-			finished = append(finished, p)
+			p.done = true
+			s.finished = append(s.finished, p)
+		} else {
+			keep = append(keep, p)
 		}
 	}
-	for _, p := range finished {
-		delete(s.active, p)
-		p.done = true
+	for i := len(keep); i < len(s.active); i++ {
+		s.active[i] = nil // release compacted-away slots
 	}
+	s.active = keep
 	s.reschedule()
 	// Run callbacks after bookkeeping so a callback that starts a new
-	// phase sees a consistent resource state.
-	for _, p := range finished {
-		p.onDone()
+	// phase sees a consistent resource state; recycle each phase after
+	// its action has run (handles are valid until completion).
+	for i, p := range s.finished {
+		s.finished[i] = nil
+		p.fire()
+		s.recycle(p)
 	}
 }
 

@@ -1,0 +1,113 @@
+package mpisim
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// allocRingPrograms builds a d=1 bidirectional ring workload for the
+// allocation-budget tests.
+func allocRingPrograms(n, steps int, texec sim.Time, bytes int) []Program {
+	progs := make([]Program, n)
+	for i := 0; i < n; i++ {
+		p := make(Program, 0, 6*steps)
+		l, r := (i+n-1)%n, (i+1)%n
+		for s := 0; s < steps; s++ {
+			p = append(p,
+				Compute{Duration: texec, Step: s},
+				Isend{To: l, Bytes: bytes, Tag: s}, Isend{To: r, Bytes: bytes, Tag: s},
+				Irecv{From: l, Bytes: bytes, Tag: s}, Irecv{From: r, Bytes: bytes, Tag: s},
+				Waitall{Step: s})
+		}
+		progs[i] = p
+	}
+	return progs
+}
+
+// allocMemPrograms is allocRingPrograms with memory-bound compute
+// phases, to gate the memband path too.
+func allocMemPrograms(n, steps int, memBytes float64, bytes int) []Program {
+	progs := allocRingPrograms(n, steps, 0, bytes)
+	for i, p := range progs {
+		for pc, op := range p {
+			if c, ok := op.(Compute); ok {
+				c.MemBytes = memBytes
+				progs[i][pc] = c
+			}
+		}
+	}
+	return progs
+}
+
+// runAllocs measures the average allocation count of one Run.
+func runAllocs(t *testing.T, ranks, steps int, memBound bool) float64 {
+	t.Helper()
+	net, err := netmodel.NewHockney(sim.Micro(2), 3e9, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progs []Program
+	cfg := Config{Ranks: ranks, Net: net}
+	if memBound {
+		progs = allocMemPrograms(ranks, steps, 1e6, 8192)
+		cfg.SocketOf = func(rank int) int { return rank / 2 }
+		cfg.SocketBandwidth = 40e9
+		cfg.CoreBandwidth = 12e9
+	} else {
+		progs = allocRingPrograms(ranks, steps, sim.Milli(3), 8192)
+	}
+	return testing.AllocsPerRun(50, func() {
+		if _, err := Run(cfg, progs); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// smallRunAllocBudget is the allocation budget for a 4-rank, 6-step
+// eager ring Run. The measured value after the pooling refactor is 130
+// — all of it per-run setup (simulation, ranks, matchers, presized
+// recorders, result assembly); the per-step hot path allocates nothing
+// (see TestStepsAreAllocationFree). The pre-pooling engine allocated
+// several hundred more (one event + one closure per scheduled event,
+// one request per posted operation). The budget leaves modest headroom
+// over the measured value; if this test fails, the hot path has started
+// allocating again — profile before raising the number.
+const smallRunAllocBudget = 150
+
+// TestSmallRunAllocBudget pins the absolute allocation count of a small
+// simulation run.
+func TestSmallRunAllocBudget(t *testing.T) {
+	avg := runAllocs(t, 4, 6, false)
+	if avg > smallRunAllocBudget {
+		t.Errorf("4-rank 6-step Run allocates %.1f objects, budget %d", avg, smallRunAllocBudget)
+	}
+}
+
+// TestStepsAreAllocationFree pins the marginal allocation cost of a
+// simulation step at zero: a 30-step run must allocate no more than a
+// 6-step run of the same shape, because events, requests, eager
+// messages, matcher slots and memband phases are all pooled and the
+// recorders are presized from the program shape. This is the sharp
+// version of the budget above — any per-event or per-request
+// allocation sneaking back into the hot path fails here regardless of
+// the setup cost. Both the compute-bound (eager ring) and the
+// memory-bound (socket-shared phases) paths are gated.
+func TestStepsAreAllocationFree(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		memBound bool
+	}{
+		{"compute-bound", false},
+		{"memory-bound", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			short := runAllocs(t, 4, 6, tc.memBound)
+			long := runAllocs(t, 4, 30, tc.memBound)
+			if long > short {
+				t.Errorf("30-step run allocates %.1f objects vs %.1f for 6 steps; the per-step hot path should be allocation-free", long, short)
+			}
+		})
+	}
+}

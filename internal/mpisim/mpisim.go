@@ -29,6 +29,29 @@
 // neighbors too, so the wave reaches two neighbor shells per period.
 // IndependentRendezvous starts each transfer as soon as its own match
 // exists, which removes the doubling (ablation).
+//
+// # Matching order
+//
+// Matching is FIFO per (source, tag) channel, as in MPI. Across the two
+// protocols the simulator additionally guarantees that a receive always
+// prefers a buffered *eager* message over a queued rendezvous handshake
+// for the same (source, tag): eager data is already at the receiver, so
+// consuming it first models a real MPI library draining its unexpected-
+// message buffer before answering clear-to-send. Per protocol, order
+// stays FIFO.
+//
+// # Allocation discipline
+//
+// The simulator is the hot path of every sweep point, so its per-event
+// bookkeeping is pooled and indexed: requests and eager messages come
+// from per-simulation free lists (recycled when their Waitall epoch
+// ends, or when the message is consumed), the matcher keeps per-
+// (source, tag) FIFO queues in a map of pooled slots instead of
+// scanning global lists, Waitall progress is an O(1) counter-and-
+// watermark check instead of an O(pending) rescan, and all hot events
+// go through the engine's typed-callback form so no capture closures
+// are allocated. See docs/ARCHITECTURE.md, "Engine internals &
+// performance".
 package mpisim
 
 import (
@@ -169,7 +192,10 @@ const (
 	stDone
 )
 
-// request is one posted non-blocking operation.
+// request is one posted non-blocking operation. Requests come from the
+// simulation's free list and are recycled when their owner's Waitall
+// epoch ends — by which point both sides of any match have completed, so
+// no stale reference can observe a reused object.
 type request struct {
 	owner  *rank
 	isSend bool
@@ -177,7 +203,6 @@ type request struct {
 	bytes  int
 	tag    int
 	proto  netmodel.Protocol
-	postAt sim.Time
 
 	done   bool
 	doneAt sim.Time
@@ -188,19 +213,81 @@ type request struct {
 }
 
 // eagerMsg is a buffered eager message in flight or waiting unmatched at
-// the receiver.
+// the receiver. Pooled per simulation; recycled when matched.
 type eagerMsg struct {
+	s                    *simulation
 	from, to, tag, bytes int
 	arriveAt             sim.Time
-	arrived              bool
 }
 
-// matcher is the per-rank message-matching engine (posted receives and
-// unexpected-message queues), FIFO per (source, tag) as in MPI.
+// matchKey identifies one FIFO matching channel at a receiver: the
+// sending peer and the message tag. Matching in this simulator is always
+// exact on both (no wildcards), so indexing by key preserves MPI's
+// per-(source, tag) FIFO ordering while making lookup O(1) instead of a
+// linear scan over all outstanding operations of the rank.
+type matchKey struct{ peer, tag int }
+
+// fifo is a head-indexed FIFO that reuses its backing array: popping
+// advances head, and when the queue empties both head and length reset
+// so the next push writes at the front again.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) empty() bool { return q.head == len(q.items) }
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) pop() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release the slot's reference
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// matchSlot holds one (peer, tag) channel's three queues: receives posted
+// before the data, eager messages that arrived before their receive, and
+// rendezvous handshakes awaiting a receive. Slots are pooled and returned
+// to the simulation when all three queues drain (tags are per-step, so a
+// slot's key rarely recurs once its step completes).
+type matchSlot struct {
+	postedRecvs fifo[*request]
+	unexpEager  fifo[*eagerMsg]
+	unexpRTS    fifo[*request]
+}
+
+func (sl *matchSlot) empty() bool {
+	return sl.postedRecvs.empty() && sl.unexpEager.empty() && sl.unexpRTS.empty()
+}
+
+// matcher is the per-rank message-matching engine, indexed by
+// (source, tag); FIFO per channel as in MPI.
 type matcher struct {
-	postedRecvs []*request
-	unexpEager  []*eagerMsg
-	unexpRTS    []*request // rendezvous sends awaiting a matching recv
+	slots map[matchKey]*matchSlot
+}
+
+// slot returns the channel's slot, creating one from the pool on demand.
+func (m *matcher) slot(s *simulation, key matchKey) *matchSlot {
+	if sl, ok := m.slots[key]; ok {
+		return sl
+	}
+	sl := s.newSlot()
+	m.slots[key] = sl
+	return sl
+}
+
+// release returns a fully drained slot to the pool. Call after popping.
+func (m *matcher) release(s *simulation, key matchKey, sl *matchSlot) {
+	if sl.empty() {
+		delete(m.slots, key)
+		s.freeSlots = append(s.freeSlots, sl)
+	}
 }
 
 type rank struct {
@@ -212,10 +299,24 @@ type rank struct {
 	state   rankState
 	pending []*request // requests posted since the last Waitall
 
-	// Waitall bookkeeping
+	// Waitall bookkeeping: outstanding counts pending requests whose
+	// completion has not been decided yet, and watermark is the latest
+	// decided completion time of the epoch. Together they make the
+	// progress check O(1) — no rescan of pending.
+	outstanding   int
+	watermark     sim.Time
 	waitStep      int
 	waitEntry     sim.Time
 	gateRemaining int // unmatched rendezvous sends in this epoch
+
+	// Continuation scratch for the typed-callback events. A rank blocks
+	// on at most one continuation at a time (delay end, compute end,
+	// noise end, send-overhead end), so one set of fields suffices and
+	// no closure needs to capture them.
+	phaseStart sim.Time
+	phaseEnd   sim.Time
+	phaseStep  int
+	memFloor   sim.Time // fixed compute floor of a memory-bound phase
 
 	rec *trace.Recorder
 }
@@ -226,9 +327,108 @@ type simulation struct {
 	ranks   []*rank
 	match   []*matcher
 	sockets map[int]*memband.Socket
-	// outstanding eager messages per (from,to) pair, for the finite
-	// eager-buffer option.
-	eagerInFlight map[[2]int]int
+	// eager tracks outstanding eager messages per (from, to) pair for
+	// the finite-eager-buffer option; inactive (and free) otherwise.
+	eager eagerTracker
+
+	// free lists (see the package comment's allocation discipline)
+	freeReqs  []*request
+	freeMsgs  []*eagerMsg
+	freeSlots []*matchSlot
+}
+
+// eagerFlatMaxRanks bounds the dense per-pair counter matrix at
+// 512 x 512 x 4 B = 1 MiB; larger simulations fall back to a map.
+const eagerFlatMaxRanks = 512
+
+// eagerTracker counts in-flight eager messages per (from, to) pair. For
+// the common rank counts it is a flat matrix — one add and one index per
+// update instead of a map hash — and it is entirely inactive when the
+// configuration does not bound eager buffers.
+type eagerTracker struct {
+	n    int
+	flat []int32
+	m    map[[2]int]int
+}
+
+func (t *eagerTracker) init(ranks int) {
+	t.n = ranks
+	if ranks <= eagerFlatMaxRanks {
+		t.flat = make([]int32, ranks*ranks)
+	} else {
+		t.m = make(map[[2]int]int)
+	}
+}
+
+func (t *eagerTracker) active() bool { return t.flat != nil || t.m != nil }
+
+func (t *eagerTracker) count(from, to int) int {
+	if t.flat != nil {
+		return int(t.flat[from*t.n+to])
+	}
+	return t.m[[2]int{from, to}]
+}
+
+func (t *eagerTracker) inc(from, to int) {
+	if t.flat != nil {
+		t.flat[from*t.n+to]++
+	} else if t.m != nil {
+		t.m[[2]int{from, to}]++
+	}
+}
+
+func (t *eagerTracker) dec(from, to int) {
+	if t.flat != nil {
+		t.flat[from*t.n+to]--
+	} else if t.m != nil {
+		t.m[[2]int{from, to}]--
+	}
+}
+
+// newRequest takes a request from the pool and initializes it.
+func (s *simulation) newRequest(owner *rank, isSend bool, peer, bytes, tag int, proto netmodel.Protocol) *request {
+	var req *request
+	if n := len(s.freeReqs); n > 0 {
+		req = s.freeReqs[n-1]
+		s.freeReqs = s.freeReqs[:n-1]
+		*req = request{}
+	} else {
+		req = &request{}
+	}
+	req.owner = owner
+	req.isSend = isSend
+	req.peer = peer
+	req.bytes = bytes
+	req.tag = tag
+	req.proto = proto
+	return req
+}
+
+// newMsg takes an eager message from the pool and initializes it.
+func (s *simulation) newMsg(from, to, tag, bytes int, arriveAt sim.Time) *eagerMsg {
+	var msg *eagerMsg
+	if n := len(s.freeMsgs); n > 0 {
+		msg = s.freeMsgs[n-1]
+		s.freeMsgs = s.freeMsgs[:n-1]
+	} else {
+		msg = &eagerMsg{}
+	}
+	msg.s = s
+	msg.from, msg.to, msg.tag, msg.bytes = from, to, tag, bytes
+	msg.arriveAt = arriveAt
+	return msg
+}
+
+func (s *simulation) freeMsg(msg *eagerMsg) { s.freeMsgs = append(s.freeMsgs, msg) }
+
+// newSlot takes a matcher slot from the pool.
+func (s *simulation) newSlot() *matchSlot {
+	if n := len(s.freeSlots); n > 0 {
+		sl := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return sl
+	}
+	return &matchSlot{}
 }
 
 // Run simulates the programs and returns the trace set. It validates the
@@ -239,19 +439,24 @@ func Run(cfg Config, programs []Program) (*Result, error) {
 		return nil, err
 	}
 	s := &simulation{
-		cfg:           cfg,
-		engine:        &sim.Engine{},
-		sockets:       make(map[int]*memband.Socket),
-		eagerInFlight: make(map[[2]int]int),
+		cfg:     cfg,
+		engine:  &sim.Engine{},
+		ranks:   make([]*rank, 0, cfg.Ranks),
+		match:   make([]*matcher, 0, cfg.Ranks),
+		sockets: make(map[int]*memband.Socket),
+	}
+	if cfg.EagerMaxOutstanding > 0 {
+		s.eager.init(cfg.Ranks)
 	}
 	for i := 0; i < cfg.Ranks; i++ {
-		s.match = append(s.match, &matcher{})
-		r := &rank{id: i, s: s, prog: programs[i], rec: trace.NewRecorder(i)}
+		s.match = append(s.match, &matcher{slots: make(map[matchKey]*matchSlot)})
+		segHint, stepHint := programShape(programs[i], cfg.Noise != nil)
+		r := &rank{id: i, s: s, prog: programs[i],
+			rec: trace.NewRecorderSized(i, segHint, stepHint)}
 		s.ranks = append(s.ranks, r)
 	}
 	for _, r := range s.ranks {
-		r := r
-		s.engine.Schedule(0, r.exec)
+		s.engine.ScheduleCall(0, rankExecCall, r)
 	}
 	end := s.engine.Run()
 
@@ -271,6 +476,25 @@ func Run(cfg Config, programs []Program) (*Result, error) {
 		traces = append(traces, r.rec.Trace())
 	}
 	return &Result{Traces: trace.NewSet(traces), End: end, Events: s.engine.Executed()}, nil
+}
+
+// programShape estimates a program's trace footprint for recorder
+// presizing: an upper bound on the segment count (each op produces at
+// most one segment, plus one noise segment per compute phase when noise
+// is configured) and the number of completed steps (one per Waitall).
+func programShape(p Program, noisy bool) (segments, steps int) {
+	segments = len(p)
+	for _, op := range p {
+		switch op.(type) {
+		case Compute:
+			if noisy {
+				segments++
+			}
+		case Waitall:
+			steps++
+		}
+	}
+	return segments, steps
 }
 
 func validate(cfg Config, programs []Program) error {
@@ -347,6 +571,78 @@ func (s *simulation) socket(id int) *memband.Socket {
 	return sk
 }
 
+// Typed event callbacks. These are package-level functions so that
+// scheduling them through ScheduleCall allocates nothing; the argument is
+// always the *rank (or *eagerMsg) whose scratch fields carry the state a
+// closure would otherwise have captured.
+
+func rankExecCall(arg any) { arg.(*rank).exec() }
+
+func rankDelayDone(arg any) {
+	r := arg.(*rank)
+	r.rec.Add(trace.Delay, r.phaseStart, r.phaseEnd, r.phaseStep)
+	r.state = stRunning
+	r.exec()
+}
+
+func rankSendOverheadDone(arg any) {
+	r := arg.(*rank)
+	r.rec.Add(trace.Overhead, r.phaseStart, r.phaseEnd, -1)
+	r.exec()
+}
+
+func rankComputeDone(arg any) {
+	r := arg.(*rank)
+	s := r.s
+	execEnd := s.engine.Now()
+	r.rec.Add(trace.Exec, r.phaseStart, execEnd, r.phaseStep)
+	var noise sim.Time
+	if s.cfg.Noise != nil {
+		noise = s.cfg.Noise(r.id, r.phaseStep)
+		if noise < 0 {
+			noise = 0
+		}
+	}
+	if noise > 0 {
+		r.phaseStart = execEnd
+		r.phaseEnd = execEnd + noise
+		s.engine.ScheduleCall(r.phaseEnd, rankNoiseDone, r)
+		return
+	}
+	r.state = stRunning
+	r.exec()
+}
+
+func rankNoiseDone(arg any) {
+	r := arg.(*rank)
+	r.rec.Add(trace.Noise, r.phaseStart, r.phaseEnd, r.phaseStep)
+	r.state = stRunning
+	r.exec()
+}
+
+// memPhaseDone runs when a memory-bound phase's streaming completes; the
+// fixed compute floor (if any) still follows before the phase ends.
+func memPhaseDone(arg any) {
+	r := arg.(*rank)
+	if r.memFloor > 0 {
+		r.s.engine.AfterCall(r.memFloor, rankComputeDone, r)
+		return
+	}
+	rankComputeDone(r)
+}
+
+func deliverEagerCall(arg any) {
+	msg := arg.(*eagerMsg)
+	msg.s.deliverEager(msg)
+}
+
+func progressCheck(arg any) {
+	r := arg.(*rank)
+	if r.state == stWaiting {
+		r.progressWait()
+	}
+}
+
 // exec advances the rank's program until it blocks or finishes.
 func (r *rank) exec() {
 	s := r.s
@@ -358,23 +654,18 @@ func (r *rank) exec() {
 			return
 		case Delay:
 			r.pc++
-			start := s.engine.Now()
-			end := start + op.Duration
+			r.phaseStart = s.engine.Now()
+			r.phaseEnd = r.phaseStart + op.Duration
+			r.phaseStep = op.Step
 			r.state = stComputing
-			s.engine.Schedule(end, func() {
-				r.rec.Add(trace.Delay, start, end, op.Step)
-				r.state = stRunning
-				r.exec()
-			})
+			s.engine.ScheduleCall(r.phaseEnd, rankDelayDone, r)
 			return
 		case Isend:
 			r.pc++
 			if cost := r.postSend(op); cost > 0 {
-				start := s.engine.Now()
-				s.engine.Schedule(start+cost, func() {
-					r.rec.Add(trace.Overhead, start, start+cost, -1)
-					r.exec()
-				})
+				r.phaseStart = s.engine.Now()
+				r.phaseEnd = r.phaseStart + cost
+				s.engine.ScheduleCall(r.phaseEnd, rankSendOverheadDone, r)
 				return
 			}
 		case Irecv:
@@ -392,46 +683,20 @@ func (r *rank) exec() {
 }
 
 // startCompute runs an execution phase: fixed-duration, memory-bound, or
-// both, plus injected noise.
+// both, plus injected noise (applied in rankComputeDone).
 func (r *rank) startCompute(op Compute) {
 	s := r.s
-	start := s.engine.Now()
+	r.phaseStart = s.engine.Now()
+	r.phaseStep = op.Step
 	r.state = stComputing
 
-	finish := func() {
-		execEnd := s.engine.Now()
-		r.rec.Add(trace.Exec, start, execEnd, op.Step)
-		var noise sim.Time
-		if s.cfg.Noise != nil {
-			noise = s.cfg.Noise(r.id, op.Step)
-			if noise < 0 {
-				noise = 0
-			}
-		}
-		if noise > 0 {
-			s.engine.Schedule(execEnd+noise, func() {
-				r.rec.Add(trace.Noise, execEnd, execEnd+noise, op.Step)
-				r.state = stRunning
-				r.exec()
-			})
-			return
-		}
-		r.state = stRunning
-		r.exec()
-	}
-
 	if op.MemBytes > 0 {
+		r.memFloor = op.Duration
 		sk := s.socket(s.cfg.SocketOf(r.id))
-		sk.Start(op.MemBytes, func() {
-			if op.Duration > 0 {
-				s.engine.After(op.Duration, finish)
-				return
-			}
-			finish()
-		})
+		sk.StartCall(op.MemBytes, memPhaseDone, r)
 		return
 	}
-	s.engine.Schedule(start+op.Duration, finish)
+	s.engine.ScheduleCall(r.phaseStart+op.Duration, rankComputeDone, r)
 }
 
 // postSend posts a non-blocking send and returns the CPU overhead the
@@ -440,34 +705,26 @@ func (r *rank) postSend(op Isend) sim.Time {
 	s := r.s
 	now := s.engine.Now()
 	proto := s.cfg.Net.ProtocolFor(r.id, op.To, op.Bytes)
-	pair := [2]int{r.id, op.To}
 	if proto == netmodel.Eager && s.cfg.EagerMaxOutstanding > 0 &&
-		s.eagerInFlight[pair] >= s.cfg.EagerMaxOutstanding {
+		s.eager.count(r.id, op.To) >= s.cfg.EagerMaxOutstanding {
 		// Finite eager buffers exhausted: this message behaves like a
 		// rendezvous transfer (the paper's footnote 1).
 		proto = netmodel.Rendezvous
 	}
-	req := &request{
-		owner:  r,
-		isSend: true,
-		peer:   op.To,
-		bytes:  op.Bytes,
-		tag:    op.Tag,
-		proto:  proto,
-		postAt: now,
-	}
+	req := s.newRequest(r, true, op.To, op.Bytes, op.Tag, proto)
 	r.pending = append(r.pending, req)
+	r.outstanding++
 	oSend := s.cfg.Net.SendOverhead(r.id, op.To, op.Bytes)
 
 	if proto == netmodel.Eager {
-		s.eagerInFlight[pair]++
+		s.eager.inc(r.id, op.To)
 		// The send completes locally once the overhead is paid.
 		s.complete(req, now+oSend)
 		// Data arrives at the receiver one transfer later.
-		msg := &eagerMsg{from: r.id, to: op.To, tag: op.Tag, bytes: op.Bytes,
-			arriveAt: now + oSend + s.cfg.Net.Transfer(r.id, op.To, op.Bytes)}
+		msg := s.newMsg(r.id, op.To, op.Tag, op.Bytes,
+			now+oSend+s.cfg.Net.Transfer(r.id, op.To, op.Bytes))
 		s.chargeComm(r.id, op.To, op.Bytes)
-		s.engine.Schedule(msg.arriveAt, func() { s.deliverEager(msg) })
+		s.engine.ScheduleCall(msg.arriveAt, deliverEagerCall, msg)
 		return oSend
 	}
 
@@ -479,65 +736,67 @@ func (r *rank) postSend(op Isend) sim.Time {
 // postRecv posts a non-blocking receive.
 func (r *rank) postRecv(op Irecv) {
 	s := r.s
-	req := &request{
-		owner:  r,
-		peer:   op.From,
-		bytes:  op.Bytes,
-		tag:    op.Tag,
-		postAt: s.engine.Now(),
-	}
+	req := s.newRequest(r, false, op.From, op.Bytes, op.Tag, 0)
 	r.pending = append(r.pending, req)
+	r.outstanding++
 	m := s.match[r.id]
-
-	// Unexpected eager message already here?
-	for i, msg := range m.unexpEager {
-		if msg.from == op.From && msg.tag == op.Tag {
-			m.unexpEager = append(m.unexpEager[:i], m.unexpEager[i+1:]...)
-			s.eagerInFlight[[2]int{msg.from, msg.to}]--
+	key := matchKey{op.From, op.Tag}
+	if sl, ok := m.slots[key]; ok {
+		// Unexpected eager message already here? (Preferred over a queued
+		// rendezvous handshake for the same channel — see "Matching
+		// order" in the package comment.)
+		if !sl.unexpEager.empty() {
+			msg := sl.unexpEager.pop()
+			m.release(s, key, sl)
+			if s.eager.active() {
+				s.eager.dec(msg.from, msg.to)
+			}
 			oRecv := s.cfg.Net.RecvOverhead(op.From, r.id, op.Bytes)
 			s.complete(req, s.engine.Now()+oRecv)
+			s.freeMsg(msg)
 			return
 		}
-	}
-	// Pending rendezvous handshake?
-	for i, send := range m.unexpRTS {
-		if send.owner.id == op.From && send.tag == op.Tag {
-			m.unexpRTS = append(m.unexpRTS[:i], m.unexpRTS[i+1:]...)
+		// Pending rendezvous handshake?
+		if !sl.unexpRTS.empty() {
+			send := sl.unexpRTS.pop()
+			m.release(s, key, sl)
 			s.link(send, req)
 			return
 		}
 	}
-	m.postedRecvs = append(m.postedRecvs, req)
+	m.slot(s, key).postedRecvs.push(req)
 }
 
 // deliverEager runs at an eager message's arrival time at the receiver.
 func (s *simulation) deliverEager(msg *eagerMsg) {
-	msg.arrived = true
 	m := s.match[msg.to]
-	for i, recv := range m.postedRecvs {
-		if recv.peer == msg.from && recv.tag == msg.tag {
-			m.postedRecvs = append(m.postedRecvs[:i], m.postedRecvs[i+1:]...)
-			s.eagerInFlight[[2]int{msg.from, msg.to}]--
-			oRecv := s.cfg.Net.RecvOverhead(msg.from, msg.to, msg.bytes)
-			s.complete(recv, s.engine.Now()+oRecv)
-			return
+	key := matchKey{msg.from, msg.tag}
+	if sl, ok := m.slots[key]; ok && !sl.postedRecvs.empty() {
+		recv := sl.postedRecvs.pop()
+		m.release(s, key, sl)
+		if s.eager.active() {
+			s.eager.dec(msg.from, msg.to)
 		}
+		oRecv := s.cfg.Net.RecvOverhead(msg.from, msg.to, msg.bytes)
+		s.complete(recv, s.engine.Now()+oRecv)
+		s.freeMsg(msg)
+		return
 	}
-	m.unexpEager = append(m.unexpEager, msg)
+	m.slot(s, key).unexpEager.push(msg)
 }
 
 // matchRTS tries to match a freshly posted rendezvous send against the
 // receiver's posted receives; otherwise it queues the handshake.
 func (s *simulation) matchRTS(send *request) {
 	m := s.match[send.peer]
-	for i, recv := range m.postedRecvs {
-		if recv.peer == send.owner.id && recv.tag == send.tag {
-			m.postedRecvs = append(m.postedRecvs[:i], m.postedRecvs[i+1:]...)
-			s.link(send, recv)
-			return
-		}
+	key := matchKey{send.owner.id, send.tag}
+	if sl, ok := m.slots[key]; ok && !sl.postedRecvs.empty() {
+		recv := sl.postedRecvs.pop()
+		m.release(s, key, sl)
+		s.link(send, recv)
+		return
 	}
-	m.unexpRTS = append(m.unexpRTS, send)
+	m.slot(s, key).unexpRTS.push(send)
 }
 
 // link connects a rendezvous send to its matching receive and updates the
@@ -588,6 +847,9 @@ func (s *simulation) startTransfer(send *request) {
 	s.complete(send.match, end+oRecv)
 }
 
+// nopPhase is the no-op completion for fire-and-forget bandwidth charges.
+func nopPhase(any) {}
+
 // chargeComm accounts a message's payload as memory traffic on the
 // sender's (read) and receiver's (write) sockets. The load phases are
 // fire-and-forget: they steal bandwidth from concurrent execution phases
@@ -599,13 +861,13 @@ func (s *simulation) chargeComm(from, to, bytes int) {
 	// The payload crosses the memory interface on both endpoints (read
 	// out on the sender, write in on the receiver) — also when the two
 	// ranks share a socket, where it is copied out and back in.
-	noop := func() {}
-	s.socket(s.cfg.SocketOf(from)).Start(float64(bytes), noop)
-	s.socket(s.cfg.SocketOf(to)).Start(float64(bytes), noop)
+	s.socket(s.cfg.SocketOf(from)).StartCall(float64(bytes), nopPhase, nil)
+	s.socket(s.cfg.SocketOf(to)).StartCall(float64(bytes), nopPhase, nil)
 }
 
-// complete marks a request done at the given time and, if its owner is
-// blocked in Waitall, schedules a progress check.
+// complete marks a request done at the given time, updates its owner's
+// progress counters, and schedules a progress check for when the
+// completion takes effect.
 func (s *simulation) complete(req *request, at sim.Time) {
 	if req.done {
 		panic(fmt.Sprintf("mpisim: double completion of request on rank %d", req.owner.id))
@@ -613,11 +875,11 @@ func (s *simulation) complete(req *request, at sim.Time) {
 	req.done = true
 	req.doneAt = at
 	owner := req.owner
-	s.engine.Schedule(at, func() {
-		if owner.state == stWaiting {
-			owner.progressWait()
-		}
-	})
+	owner.outstanding--
+	if at > owner.watermark {
+		owner.watermark = at
+	}
+	s.engine.ScheduleCall(at, progressCheck, owner)
 }
 
 // enterWait begins a Waitall over all pending requests.
@@ -647,32 +909,33 @@ func (r *rank) enterWait(op Waitall) {
 	r.progressWait()
 }
 
-// progressWait checks whether every pending request has completed (as of
-// the current virtual time) and, if so, finishes the Waitall. It is
-// idempotent: completion events may trigger it multiple times.
+// progressWait finishes the Waitall once every pending request of the
+// epoch has completed and the latest completion time has been reached.
+// The check is O(1): complete() maintains the outstanding counter and
+// the completion watermark, so no rescan of the pending list is needed.
+// It is idempotent: completion events may trigger it multiple times.
 func (r *rank) progressWait() {
 	if r.state != stWaiting {
 		return
 	}
-	now := r.s.engine.Now()
-	var latest sim.Time
-	for _, req := range r.pending {
-		if !req.done {
-			return // a future completion event will re-invoke us
-		}
-		if req.doneAt > latest {
-			latest = req.doneAt
-		}
+	if r.outstanding > 0 {
+		return // a future completion event will re-invoke us
 	}
-	if latest > now {
-		// All completion times are known but lie in the future (e.g. a
-		// receive overhead tail); the event scheduled by complete() at
-		// that time re-invokes us.
+	now := r.s.engine.Now()
+	if r.watermark > now {
+		// All completion times are known but the latest lies in the
+		// future (e.g. a receive overhead tail); the event scheduled by
+		// complete() at that time re-invokes us.
 		return
 	}
 	r.rec.Add(trace.Wait, r.waitEntry, now, r.waitStep)
 	r.rec.EndStep(r.waitStep, now)
+	// The epoch is over: both sides of every match have completed, so
+	// the requests can go back to the pool for the next epoch.
+	s := r.s
+	s.freeReqs = append(s.freeReqs, r.pending...)
 	r.pending = r.pending[:0]
+	r.watermark = 0
 	r.state = stRunning
 	r.exec()
 }
@@ -698,12 +961,32 @@ func (st rankState) String() string {
 // analytic overlays.
 func StepDurations(texec, tcomm sim.Time) sim.Time { return texec + tcomm }
 
+// OpName returns the diagnostic name of an op's concrete type ("mpisim.
+// Compute", "mpisim.Isend", ...) through a typed switch — no reflection
+// on the hot path of program statistics.
+func OpName(op Op) string {
+	switch op.(type) {
+	case Compute:
+		return "mpisim.Compute"
+	case Delay:
+		return "mpisim.Delay"
+	case Isend:
+		return "mpisim.Isend"
+	case Irecv:
+		return "mpisim.Irecv"
+	case Waitall:
+		return "mpisim.Waitall"
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
 // CountOps returns the number of operations of each concrete type in a
 // program, for diagnostics and tests.
 func CountOps(p Program) map[string]int {
-	counts := make(map[string]int)
+	counts := make(map[string]int, 5)
 	for _, op := range p {
-		counts[fmt.Sprintf("%T", op)]++
+		counts[OpName(op)]++
 	}
 	return counts
 }

@@ -2,6 +2,7 @@ package mpisim
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"testing"
 
@@ -738,6 +739,73 @@ func BenchmarkRing100x100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(Config{Ranks: 100, Net: net}, progs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestCrossProtocolEagerPreferredOverRTS(t *testing.T) {
+	// Documents the matcher's cross-protocol ordering guarantee: for the
+	// same (source, tag) channel, a posted receive always consumes a
+	// buffered *eager* message before a queued rendezvous handshake —
+	// even when the rendezvous RTS was queued first. (Within each
+	// protocol, matching stays FIFO; see TestFIFOMatchingSameTag.)
+	//
+	// Rank 0 posts an eager send and then a rendezvous send, both with
+	// tag 7, and enters Waitall. The RTS reaches rank 1's matcher
+	// immediately (the Hockney test net has zero send overhead; a model
+	// with overhead would delay it by oSend, still far below the delay),
+	// before the eager payload arrives one transfer later. Rank 1
+	// sits in a delay until both are queued, then posts its first
+	// receive: under eager-first matching its first Waitall completes at
+	// the delay end (the eager data is already local), whereas arrival-
+	// order matching would hand it the RTS and stall the first Waitall
+	// for the full rendezvous transfer of the large message.
+	delay := sim.Milli(1)
+	transferLarge := sim.Time(float64(largeMsg) / 3e9)
+	progs := []Program{
+		{
+			Isend{To: 1, Bytes: smallMsg, Tag: 7},
+			Isend{To: 1, Bytes: largeMsg, Tag: 7},
+			Waitall{Step: 0},
+		},
+		{
+			Delay{Duration: delay, Step: 0},
+			Irecv{From: 0, Bytes: smallMsg, Tag: 7},
+			Waitall{Step: 0},
+			Irecv{From: 0, Bytes: largeMsg, Tag: 7},
+			Waitall{Step: 1},
+		},
+	}
+	res, err := Run(Config{Ranks: 2, Net: testNet(t)}, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := res.Traces.Ranks[1].StepEnd
+	if len(steps) != 2 {
+		t.Fatalf("rank 1 completed %d steps, want 2", len(steps))
+	}
+	// First Waitall: matched the eager message, so it ends essentially at
+	// the delay end — far before a rendezvous transfer could complete.
+	if steps[0] > delay+transferLarge/2 {
+		t.Errorf("first Waitall ended at %v; eager-first matching should end it at ~%v, "+
+			"arrival-order matching would stall it to ~%v", steps[0], delay, delay+transferLarge)
+	}
+	// Second Waitall: the rendezvous transfer starts once its receive is
+	// posted (the sender's gate is already open), so it ends one large
+	// transfer later.
+	if steps[1] < delay+transferLarge {
+		t.Errorf("second Waitall ended at %v, before the rendezvous transfer could finish (%v)",
+			steps[1], delay+transferLarge)
+	}
+}
+
+func TestOpNameMatchesReflection(t *testing.T) {
+	// OpName's typed switch replaced fmt.Sprintf("%T"); the names must
+	// stay identical so CountOps/OpNames output is unchanged.
+	ops := []Op{Compute{}, Delay{}, Isend{}, Irecv{}, Waitall{}}
+	for _, op := range ops {
+		if got, want := OpName(op), fmt.Sprintf("%T", op); got != want {
+			t.Errorf("OpName(%T) = %q, want %q", op, got, want)
 		}
 	}
 }

@@ -1,0 +1,52 @@
+// Package profiling wires the standard pprof profilers into the CLIs,
+// for profiling simulations in the field: every command that runs
+// sweeps or figure reproductions accepts -cpuprofile/-memprofile flags
+// and funnels them through Start.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpuPath is non-empty) and returns a
+// stop function that ends it and writes a heap profile to memPath (if
+// non-empty). Call stop exactly once, after the workload of interest and
+// before process exit — os.Exit skips deferred calls, so callers that
+// exit on error must stop first. Either path may be empty; with both
+// empty, Start is a no-op and stop never fails.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

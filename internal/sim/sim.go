@@ -6,6 +6,16 @@
 // must always execute in the same order, or otherwise identical runs could
 // produce different message-matching orders and different timelines. Ties
 // are broken by insertion sequence number (FIFO among equal-time events).
+//
+// # Allocation discipline
+//
+// The engine is the innermost loop of every simulation, so it recycles
+// Event objects on a per-engine free list: in steady state, scheduling
+// and executing an event performs no heap allocation. The typed-callback
+// form ScheduleCall(at, fn, arg) passes a pointer-shaped argument to a
+// plain function, which lets hot callers avoid allocating a capture
+// closure per event; Schedule(at, func()) remains as a thin wrapper for
+// call sites where a closure is idiomatic and cold.
 package sim
 
 import (
@@ -34,13 +44,23 @@ func (t Time) Micros() float64 { return float64(t) * 1e6 }
 // Millis reports t in milliseconds.
 func (t Time) Millis() float64 { return float64(t) * 1e3 }
 
-// Event is a scheduled action. Run executes at the event's virtual time.
+// Event is a scheduled action, owned by the engine's free list.
+//
+// An *Event returned by Schedule/ScheduleCall is valid for Cancel until
+// the event executes. Once it has run, the engine recycles the object
+// for a later scheduling call, so handles must not be retained past the
+// event's execution time (cancelling a stale handle could cancel an
+// unrelated, later event). Completion paths that may race — like a
+// resource cancelling its own pending timer — must therefore drop their
+// handle when the event fires, which is the natural shape anyway.
 type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	pos  int // index within the heap, for O(log n) cancellation
+	at     Time
+	seq    uint64
+	fn     func()    // closure form (Schedule)
+	callFn func(any) // typed-callback form (ScheduleCall)
+	arg    any
+	dead   bool
+	pos    int // index within the heap, for O(log n) cancellation
 }
 
 // At returns the event's scheduled virtual time.
@@ -49,11 +69,21 @@ func (e *Event) At() Time { return e.at }
 // Cancelled reports whether the event has been cancelled.
 func (e *Event) Cancelled() bool { return e.dead }
 
-// Engine owns the virtual clock and the pending-event heap.
-// The zero value is ready to use.
+// run invokes the event's action in whichever form it was scheduled.
+func (e *Event) run() {
+	if e.callFn != nil {
+		e.callFn(e.arg)
+		return
+	}
+	e.fn()
+}
+
+// Engine owns the virtual clock, the pending-event heap and the event
+// free list. The zero value is ready to use.
 type Engine struct {
 	now      Time
 	heap     []*Event
+	free     []*Event
 	seq      uint64
 	executed uint64
 	running  bool
@@ -69,18 +99,62 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // cancelled events not yet popped).
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// alloc takes an Event from the free list, or allocates a fresh one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.dead = false
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns an executed or discarded event to the free list,
+// clearing the action references so the pool does not retain garbage.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.callFn = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
+
 // Schedule registers fn to run at virtual time at. Scheduling an event in
 // the past (before Now) panics: it would mean causality violation in the
 // simulation logic, which is always a programming error worth failing
 // loudly for.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
-	}
 	if fn == nil {
 		panic("sim: scheduling nil event function")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := e.schedule(at)
+	ev.fn = fn
+	return ev
+}
+
+// ScheduleCall registers fn(arg) to run at virtual time at. It is the
+// allocation-free form of Schedule: with a pooled Event, a package-level
+// fn and a pointer-shaped arg, scheduling performs no heap allocation,
+// where a capturing closure passed to Schedule would allocate once per
+// event. The same past-time rule as Schedule applies.
+func (e *Engine) ScheduleCall(at Time, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	ev := e.schedule(at)
+	ev.callFn = fn
+	ev.arg = arg
+	return ev
+}
+
+// schedule allocates and enqueues a bare event at the given time.
+func (e *Engine) schedule(at Time) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
 	e.seq++
 	e.push(ev)
 	return ev
@@ -94,17 +168,28 @@ func (e *Engine) After(delay Time, fn func()) *Event {
 	return e.Schedule(e.now+delay, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-executed or
-// already-cancelled event is a harmless no-op, which keeps caller logic
-// simple when races between completion paths occur.
+// AfterCall schedules fn(arg) to run delay after the current time — the
+// typed-callback counterpart of After.
+func (e *Engine) AfterCall(delay Time, fn func(any), arg any) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.ScheduleCall(e.now+delay, fn, arg)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-cancelled
+// event (or nil) is a harmless no-op, which keeps caller logic simple
+// when races between completion paths occur. See the Event documentation
+// for the handle-validity rule: cancel only events that have not yet
+// executed.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.dead {
 		return
 	}
 	ev.dead = true
-	// Leave it in the heap; Run discards dead events when popped. Removing
-	// eagerly would also be possible via ev.pos, but lazily skipping is
-	// simpler and the event count in these simulations stays small.
+	// Leave it in the heap; the run loop discards dead events when popped
+	// and recycles them. Removing eagerly would also be possible via
+	// ev.pos, but lazily skipping is simpler and just as fast here.
 }
 
 // Run executes events in (time, insertion) order until the queue drains.
@@ -129,6 +214,7 @@ func (e *Engine) RunUntil(limit Time) Time {
 		}
 		e.pop()
 		if top.dead {
+			e.recycle(top)
 			continue
 		}
 		if top.at < e.now {
@@ -136,7 +222,10 @@ func (e *Engine) RunUntil(limit Time) Time {
 		}
 		e.now = top.at
 		e.executed++
-		top.fn()
+		top.run()
+		// Recycle only after the action ran: the action may schedule new
+		// events, which must not reuse this object mid-flight.
+		e.recycle(top)
 	}
 	return e.now
 }
@@ -147,11 +236,13 @@ func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		top := e.pop()
 		if top.dead {
+			e.recycle(top)
 			continue
 		}
 		e.now = top.at
 		e.executed++
-		top.fn()
+		top.run()
+		e.recycle(top)
 		return true
 	}
 	return false
@@ -176,6 +267,7 @@ func (e *Engine) pop() *Event {
 	last := len(e.heap) - 1
 	e.heap[0] = e.heap[last]
 	e.heap[0].pos = 0
+	e.heap[last] = nil // release the slot's reference for the pool
 	e.heap = e.heap[:last]
 	if last > 0 {
 		e.down(0)

@@ -87,6 +87,23 @@ func NewRecorder(rank int) *Recorder {
 	return &Recorder{t: RankTrace{Rank: rank}}
 }
 
+// NewRecorderSized creates a recorder with capacity hints: segments for
+// the expected number of timeline segments, steps for the expected
+// number of completed time steps. Simulators that know the program shape
+// up front use this to avoid the append-doubling reallocations that
+// otherwise dominate a recorder's cost; the hints are capacities only
+// and do not change what is recorded. Non-positive hints are ignored.
+func NewRecorderSized(rank, segments, steps int) *Recorder {
+	r := &Recorder{t: RankTrace{Rank: rank}}
+	if segments > 0 {
+		r.t.Segments = make([]Segment, 0, segments)
+	}
+	if steps > 0 {
+		r.t.StepEnd = make([]sim.Time, 0, steps)
+	}
+	return r
+}
+
 // Add appends a segment. Zero-length segments are dropped: they carry no
 // information and would bloat timelines with clutter.
 func (r *Recorder) Add(kind Kind, start, end sim.Time, step int) {

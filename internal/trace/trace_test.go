@@ -28,6 +28,42 @@ func TestRecorderBasics(t *testing.T) {
 	}
 }
 
+func TestRecorderSizedPresizesWithoutChangingContent(t *testing.T) {
+	// The sized constructor only sets capacities; the recorded trace
+	// must be identical to an unsized recorder's, and recording within
+	// the hints must never reallocate the segment slice.
+	sized := NewRecorderSized(3, 8, 4)
+	plain := NewRecorder(3)
+	if got := cap(sized.t.Segments); got != 8 {
+		t.Errorf("segment capacity = %d, want 8", got)
+	}
+	if got := cap(sized.t.StepEnd); got != 4 {
+		t.Errorf("step capacity = %d, want 4", got)
+	}
+	for _, r := range []*Recorder{sized, plain} {
+		r.Add(Exec, 0, 1, 0)
+		r.Add(Wait, 1, 1.5, 0)
+		r.EndStep(0, 1.5)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		sized.t.Segments = sized.t.Segments[:0]
+		sized.Add(Exec, 0, 1, 0)
+		sized.Add(Wait, 1, 1.5, 0)
+	}); avg > 0 {
+		t.Errorf("recording within the hint allocates %.1f objects, want 0", avg)
+	}
+	sized.t.Segments = sized.t.Segments[:2]
+	a, b := sized.Trace(), plain.Trace()
+	if len(a.Segments) != len(b.Segments) || a.Segments[0] != b.Segments[0] || a.Segments[1] != b.Segments[1] {
+		t.Errorf("sized recorder trace %v differs from plain %v", a.Segments, b.Segments)
+	}
+	// Hints are ignored when non-positive.
+	z := NewRecorderSized(1, 0, -1)
+	if z.t.Segments != nil || z.t.StepEnd != nil {
+		t.Error("non-positive hints should not preallocate")
+	}
+}
+
 func TestRecorderDropsEmptySegments(t *testing.T) {
 	r := NewRecorder(0)
 	r.Add(Wait, 2, 2, 0)
