@@ -12,6 +12,7 @@
 //	idlewave -topology chain:32:periodic:uni -steps 20 -timeline
 //	idlewave -workload lbm:40:cells=90 -steps 31 -delay 15ms
 //	idlewave -workload triad:18 -workload-topology grid:3x6:periodic
+//	idlewave -topology chain:32 -machine custom:lat=5us:bw=1GB/s -noise periodic:500us@10ms
 //
 // The -topology flag (chain:<n>[:opts], grid:<e1>x<e2>[x...][:opts],
 // torus:<dims>[:opts]; opts are open, periodic, uni, bi, d=<k>) runs a
@@ -23,6 +24,12 @@
 // bulk:<shape>[:texec=..][:bytes=..][:topology opts]; <shape> is a rank
 // count or NxM torus extents) runs any of the paper's kernels through
 // the same pipeline; -workload-topology rebinds its decomposition.
+//
+// The -machine flag (emmy, meggie:noise=0,
+// custom:lat=1.2us:bw=6.8GB/s:eager=32768:cores=10x2) selects or builds
+// the simulated system, and -noise (exp:1.5, exp:2.4us:cap=30us,
+// periodic:500us@10ms, combinations joined with +) replaces the scalar
+// -E injected-noise level with a composable profile.
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 		topoSpec = flag.String("topology", "", "run an ad-hoc scenario on this topology (e.g. grid:16x16:periodic) instead of -exp")
 		wlSpec   = flag.String("workload", "", "run an ad-hoc scenario of this workload (e.g. lbm:40:cells=90, triad:18, divide:16) instead of -exp")
 		wlTopo   = flag.String("workload-topology", "", "rebind the -workload decomposition to this topology spec")
+		machSpec = flag.String("machine", "", "ad-hoc scenario: machine spec (emmy, meggie:noise=0, custom:lat=1.2us:bw=6.8GB/s:...)")
+		noiseSp  = flag.String("noise", "", "ad-hoc scenario: injected-noise profile spec (exp:1.5, periodic:500us@10ms, ...); replaces -E")
 		steps    = flag.Int("steps", 24, "ad-hoc scenario: time steps")
 		bytes    = flag.Int("bytes", 8192, "ad-hoc scenario: message size per neighbor (bulk-sync only)")
 		noiseE   = flag.Float64("E", 0, "ad-hoc scenario: injected noise level")
@@ -71,6 +80,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "idlewave: -exp and -topology/-workload are mutually exclusive (a named figure reproduction fixes its own scenario)")
 		os.Exit(2)
 	}
+	if !adhoc && (*machSpec != "" || *noiseSp != "") {
+		fmt.Fprintln(os.Stderr, "idlewave: -machine/-noise apply to ad-hoc scenarios; named figure reproductions fix their own machines (pass -topology or -workload)")
+		os.Exit(2)
+	}
+	if *noiseSp != "" {
+		// The noise profile replaces the scalar level; reject an explicit
+		// -E instead of silently ignoring it.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "E" {
+				fmt.Fprintln(os.Stderr, "idlewave: -noise replaces -E; express the level as exp:<level>")
+				os.Exit(2)
+			}
+		})
+	}
 	if *wlTopo != "" && *wlSpec == "" {
 		fmt.Fprintln(os.Stderr, "idlewave: -workload-topology needs -workload")
 		os.Exit(2)
@@ -88,6 +111,7 @@ func main() {
 	if adhoc {
 		if err := runScenario(scenarioFlags{
 			topoSpec: *topoSpec, wlSpec: *wlSpec, wlTopo: *wlTopo,
+			machSpec: *machSpec, noiseSpec: *noiseSp,
 			steps: *steps, bytes: *bytes,
 			delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
 			noiseE: *noiseE, seed: *seed, timeline: *timeline,
@@ -117,6 +141,7 @@ func main() {
 
 type scenarioFlags struct {
 	topoSpec, wlSpec, wlTopo string
+	machSpec, noiseSpec      string
 	steps, bytes             int
 	delayAt, delayStep       int
 	delayDur                 time.Duration
@@ -130,6 +155,21 @@ type scenarioFlags struct {
 // and prints the tracked wave front.
 func runScenario(f scenarioFlags) error {
 	spec := idlewave.ScenarioSpec{NoiseLevel: f.noiseE, Seed: f.seed}
+	if f.machSpec != "" {
+		m, err := idlewave.ParseMachine(f.machSpec)
+		if err != nil {
+			return err
+		}
+		spec.Machine = m
+	}
+	if f.noiseSpec != "" {
+		np, err := idlewave.ParseNoise(f.noiseSpec)
+		if err != nil {
+			return err
+		}
+		spec.Noise = np
+		spec.NoiseLevel = 0
+	}
 	if f.wlSpec != "" {
 		wl, err := workload.ParseWith(f.wlSpec, workload.Defaults{Steps: f.steps})
 		if err != nil {
@@ -166,6 +206,12 @@ func runScenario(f scenarioFlags) error {
 	}
 
 	fmt.Printf("workload  %v\n", res.Workload())
+	if f.machSpec != "" {
+		fmt.Printf("machine   %s\n", spec.Machine.Name)
+	}
+	if f.noiseSpec != "" {
+		fmt.Printf("noise     %v\n", spec.Noise)
+	}
 	if topo := res.Topology(); topo != nil {
 		fmt.Printf("topology  %s (%d ranks)\n", topo, topo.Ranks())
 	}

@@ -10,6 +10,7 @@
 //	sweep -E 0,0.02,0.05,0.1
 //	sweep -E 0,0.1 -bytes 8192,262144 -d 1,2 -dir uni,bi -format csv
 //	sweep -machine emmy,meggie -metrics speed,decay,idle -o out.csv -format csv
+//	sweep -machine custom:lat=1us,custom:lat=5us -noise exp:0.5,periodic:500us@10ms
 //	sweep -topology grid:16x16:periodic,chain:256:periodic -E 0,0.05
 //	sweep -workload triad:18,lbm:18:cells=90,divide:18 -metrics runtime,membw
 //	sweep -E 0,0.05 -format markdown
@@ -26,6 +27,16 @@
 // opts]; <shape> is a rank count or NxM torus extents) and sweeps them
 // as a workload axis, replacing the shape-and-kernel flags
 // (-ranks/-d/-dir/-periodic/-topology/-texec/-bytes).
+//
+// The -machine flag takes comma-separated machine specs in the
+// ParseMachine syntax — reference names ("emmy"), modified references
+// ("meggie:noise=0") or fully custom systems
+// ("custom:lat=1.2us:bw=6.8GB/s:eager=32768:cores=10x2").
+//
+// The -noise flag takes comma-separated noise profile specs in the
+// ParseNoise syntax ("exp:0.5", "periodic:500us@10ms", "silent",
+// "exp:0.5+periodic:500us@10ms") and sweeps them as an injected-noise
+// profile axis, replacing the scalar -E levels.
 package main
 
 import (
@@ -54,13 +65,14 @@ func main() {
 		periodic = flag.Bool("periodic", true, "periodic (ring) boundary instead of open chain")
 		seed     = flag.Uint64("seed", 42, "random seed")
 
-		eList    = flag.String("E", "0", "comma-separated injected noise levels")
-		byteList = flag.String("bytes", "8192", "comma-separated message sizes in bytes")
-		dList    = flag.String("d", "1", "comma-separated neighbor distances")
-		dirList  = flag.String("dir", "bi", "comma-separated directions: uni, bi")
-		topoList = flag.String("topology", "", "comma-separated topology specs (e.g. grid:32x32:periodic); replaces -ranks/-d/-dir/-periodic")
-		wlList   = flag.String("workload", "", "comma-separated workload specs (e.g. triad:18,lbm:18:cells=90); replaces the shape and kernel flags")
-		machList = flag.String("machine", "emmy", "comma-separated machines: emmy, meggie, simulated, or all")
+		eList     = flag.String("E", "0", "comma-separated injected noise levels")
+		noiseList = flag.String("noise", "", "comma-separated noise profile specs (e.g. exp:0.5,periodic:500us@10ms,silent); replaces -E")
+		byteList  = flag.String("bytes", "8192", "comma-separated message sizes in bytes")
+		dList     = flag.String("d", "1", "comma-separated neighbor distances")
+		dirList   = flag.String("dir", "bi", "comma-separated directions: uni, bi")
+		topoList  = flag.String("topology", "", "comma-separated topology specs (e.g. grid:32x32:periodic); replaces -ranks/-d/-dir/-periodic")
+		wlList    = flag.String("workload", "", "comma-separated workload specs (e.g. triad:18,lbm:18:cells=90); replaces the shape and kernel flags")
+		machList  = flag.String("machine", "emmy", "comma-separated machine specs: emmy, meggie, simulated, all, or the ParseMachine syntax (e.g. custom:lat=1.2us:bw=6.8GB/s)")
 
 		metricsF = flag.String("metrics", "speed,decay,idle,runtime", "comma-separated metrics: speed, decay, idle, quiet, runtime, events, membw, steptime")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = all cores)")
@@ -87,12 +99,17 @@ func main() {
 		rejectConflicts("-workload", "fold them into the workload spec (e.g. lbm:16x16:cells=90:steps=30)",
 			"ranks", "periodic", "d", "dir", "topology", "texec", "bytes")
 	}
+	if *noiseList != "" {
+		// -noise supersedes the scalar noise level: a profile axis
+		// replaces the E axis entirely.
+		rejectConflicts("-noise", "express levels as exp:<level> noise specs", "E")
+	}
 
 	spec, err := buildSpec(specFlags{
 		ranks: *ranks, steps: *steps, texec: *texec,
 		delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
 		periodic: *periodic, seed: *seed,
-		eList: *eList, byteList: *byteList, dList: *dList,
+		eList: *eList, noiseList: *noiseList, byteList: *byteList, dList: *dList,
 		dirList: *dirList, topoList: *topoList, wlList: *wlList,
 		machList: *machList,
 		metrics:  *metricsF, workers: *workers,
@@ -192,7 +209,8 @@ type specFlags struct {
 	delayAt, delayStep int
 	periodic           bool
 	seed               uint64
-	eList, byteList    string
+	eList, noiseList   string
+	byteList           string
 	dList, dirList     string
 	topoList, wlList   string
 	machList, metrics  string
@@ -212,11 +230,25 @@ func buildSpec(f specFlags) (idlewave.SweepSpec, error) {
 		return zero, err
 	}
 	axes = append(axes, idlewave.MachineAxis(machines...))
-	es, err := parseFloats(f.eList)
-	if err != nil {
-		return zero, fmt.Errorf("-E: %w", err)
+	if f.noiseList != "" {
+		// A noise-profile axis supersedes the scalar E axis (main
+		// rejects explicit -E uses).
+		var ps []idlewave.NoiseProfile
+		for _, p := range strings.Split(f.noiseList, ",") {
+			np, err := idlewave.ParseNoise(strings.TrimSpace(p))
+			if err != nil {
+				return zero, fmt.Errorf("-noise: %w", err)
+			}
+			ps = append(ps, np)
+		}
+		axes = append(axes, idlewave.NoiseProfileAxis(ps...))
+	} else {
+		es, err := parseFloats(f.eList)
+		if err != nil {
+			return zero, fmt.Errorf("-E: %w", err)
+		}
+		axes = append(axes, idlewave.NoiseAxis(es...))
 	}
-	axes = append(axes, idlewave.NoiseAxis(es...))
 
 	if f.wlList != "" {
 		// A workload axis supersedes both the chain shape flags and the
@@ -358,7 +390,7 @@ func parseMachines(s string) ([]idlewave.Machine, error) {
 	}
 	var out []idlewave.Machine
 	for _, p := range strings.Split(s, ",") {
-		m, err := cluster.ByName(strings.TrimSpace(p))
+		m, err := idlewave.ParseMachine(strings.TrimSpace(p))
 		if err != nil {
 			return nil, err
 		}

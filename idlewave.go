@@ -6,8 +6,11 @@
 // The package re-exports the pieces a downstream user needs to build
 // idle-wave experiments of their own:
 //
-//   - machine descriptions (Emmy, Meggie, Simulated) with realistic
-//     communication and noise parameters;
+//   - composable machine descriptions — the reference systems (Emmy,
+//     Meggie, Simulated) plus user-built ones via NewMachine/
+//     ParseMachine, with first-class network models (Hockney, LogGOPS,
+//     Hierarchical) and noise profiles (ExponentialNoise, BimodalNoise,
+//     PeriodicNoise, combinations);
 //   - topologies (1-D chains, N-dimensional Cartesian grids and tori)
 //     and first-class workloads over any of them — all four paper
 //     kernels (BulkSync, StreamTriad, LBM, DivideKernel) plus
@@ -37,9 +40,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mpisim"
+	"repro/internal/netmodel"
 	"repro/internal/noise"
 	"repro/internal/proc"
 	"repro/internal/sim"
@@ -105,18 +108,6 @@ func ParseTopology(s string) (Topology, error) { return topology.Parse(s) }
 // through, one shell per compute-communicate period.
 func Shells(t Topology, source int) [][]int { return topology.Shells(t, source) }
 
-// Machine aliases cluster.Machine, the description of a simulated system.
-type Machine = cluster.Machine
-
-// Emmy returns the InfiniBand reference system.
-func Emmy() Machine { return cluster.Emmy() }
-
-// Meggie returns the Omni-Path reference system.
-func Meggie() Machine { return cluster.Meggie() }
-
-// Simulated returns the idealized pure-Hockney reference system.
-func Simulated() Machine { return cluster.Simulated() }
-
 // Injection places a one-off delay at (rank, step).
 type Injection = noise.Injection
 
@@ -129,8 +120,27 @@ func Inject(rank, step int, d time.Duration) Injection {
 // (Workload), on what communication structure, on which machine, under
 // what noise.
 type ScenarioSpec struct {
-	// Machine defaults to Emmy() when zero-valued.
+	// Machine defaults to Emmy() when zero-valued. Build custom systems
+	// with NewMachine or ParseMachine; the machine's natural noise and
+	// derived network model apply unless Noise/NetModel override them.
 	Machine Machine
+	// Noise optionally replaces the injected-noise profile — the
+	// exponential noise a non-zero NoiseLevel would add. Any
+	// NoiseProfile works: ExponentialNoise{Level: E} reproduces the
+	// NoiseLevel stream byte for byte, PeriodicNoise adds OS-jitter,
+	// CombineNoise mixes components. The machine's natural noise still
+	// applies on top (silence it in the machine description, e.g.
+	// ParseMachine("emmy:noise=0")). Setting both Noise and a non-zero
+	// NoiseLevel is an error; nil keeps the NoiseLevel behavior
+	// unchanged.
+	Noise NoiseProfile
+	// NetModel optionally overrides the communication cost model the
+	// run uses. When nil, the model derives from the Machine: its flat
+	// inter-node parameters for compute-bound runs, its hierarchical
+	// placement-aware model for memory-bound ones — byte-identical to
+	// the behavior before this field existed. Memory-bound runs keep
+	// their placement-based socket bandwidth sharing either way.
+	NetModel NetModel
 	// Workload optionally selects the kernel the scenario runs — any
 	// Workload (BulkSync, StreamTriad, LBM, DivideKernel,
 	// ProcessWorkload, or a custom implementation). When nil, a
@@ -340,6 +350,9 @@ func (s ScenarioSpec) workloadFor() (Workload, error) {
 // is memory-bound — and wrap the traces in a Result.
 func Simulate(spec ScenarioSpec) (*Result, error) {
 	spec = spec.withDefaults()
+	if spec.Noise != nil && spec.NoiseLevel != 0 {
+		return nil, fmt.Errorf("idlewave: spec sets both Noise (%v) and NoiseLevel (%g); pick one", spec.Noise, spec.NoiseLevel)
+	}
 	wl, err := spec.workloadFor()
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
@@ -365,22 +378,31 @@ func Simulate(spec ScenarioSpec) (*Result, error) {
 // controlled-experiment configuration); memory-bound programs get a
 // compact placement with the hierarchical network, shared socket
 // bandwidth and communication-DMA charging (the Fig. 1/2 configuration).
+// A non-nil spec.NetModel replaces the machine-derived model; a non-nil
+// spec.Noise replaces the NoiseLevel-derived injected noise.
 func (s ScenarioSpec) run(progs []mpisim.Program) (*mpisim.Result, error) {
 	cfg := mpisim.Config{Ranks: len(progs)}
+	texec := sim.Time(s.Texec.Seconds())
 	if memoryBound(progs) {
 		place, err := s.Machine.Placement(len(progs))
 		if err != nil {
 			return nil, err
 		}
-		net, err := s.Machine.NetModel(place)
-		if err != nil {
-			return nil, err
+		if s.NetModel != nil {
+			cfg.Net = s.NetModel
+		} else {
+			net, err := s.Machine.NetModel(place)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Net = net
 		}
-		cfg.Net = net
 		cfg.SocketOf = place.Socket
 		cfg.SocketBandwidth = s.Machine.MemBandwidth
 		cfg.CoreBandwidth = s.Machine.MemBandwidth / 6 // single-core limit, ~1/6 of saturation
 		cfg.ChargeCommBandwidth = true
+	} else if s.NetModel != nil {
+		cfg.Net = s.NetModel
 	} else {
 		net, err := s.Machine.FlatNetModel()
 		if err != nil {
@@ -388,11 +410,19 @@ func (s ScenarioSpec) run(progs []mpisim.Program) (*mpisim.Result, error) {
 		}
 		cfg.Net = net
 	}
-	natural, err := s.Machine.NaturalNoise(s.Seed)
+	natural, err := s.Machine.NaturalNoise(s.Seed, texec)
 	if err != nil {
 		return nil, err
 	}
-	injected := noise.Exponential(s.Seed+1, s.NoiseLevel, sim.Time(s.Texec.Seconds()))
+	var injected mpisim.NoiseFunc
+	if s.Noise != nil {
+		injected, err = s.Noise.Build(s.Seed+1, texec)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		injected = noise.Exponential(s.Seed+1, s.NoiseLevel, texec)
+	}
 	cfg.Noise = noise.Combine(natural, injected)
 	return mpisim.Run(cfg, progs)
 }
@@ -480,12 +510,33 @@ func (r *Result) front(source int) wave.Front {
 func (r *Result) trackFront(source int) wave.Front {
 	threshold := sim.Time(r.spec.Texec.Seconds()) / 2
 	eager := r.spec.MessageBytes <= r.spec.Machine.EagerLimit
+	if r.spec.NetModel != nil {
+		// An override model carries its own protocol switch, and a
+		// hierarchical one may answer differently per rank pair (the
+		// tiers can have different eager limits). The directed tracker
+		// is only sound when every edge the wave travels is eager, so
+		// probe the topology's actual send edges.
+		eager = allEdgesEager(r.spec.NetModel, r.topo, r.spec.MessageBytes)
+	}
 	if eager && topology.ForwardOnly(r.topo) {
 		if dt, ok := r.topo.(topology.Directed); ok {
 			return wave.TrackFrontDirected(r.Traces, dt, source, threshold)
 		}
 	}
 	return wave.TrackFront(r.Traces, r.topo, source, threshold)
+}
+
+// allEdgesEager reports whether the cost model sends a message of the
+// given size eagerly on every send edge of the topology.
+func allEdgesEager(net NetModel, topo Topology, bytes int) bool {
+	for i := 0; i < topo.Ranks(); i++ {
+		for _, j := range topo.SendTargets(i) {
+			if net.ProtocolFor(i, j, bytes) != netmodel.Eager {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // MemBandwidth returns the achieved per-rank memory streaming bandwidth

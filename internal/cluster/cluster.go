@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mpisim"
 	"repro/internal/netmodel"
@@ -40,9 +41,11 @@ type Machine struct {
 	SendOverhead sim.Time
 	RecvOverhead sim.Time
 
-	// NoiseProfile describes the machine's natural fine-grained noise;
+	// Noise describes the machine's natural fine-grained noise — any
+	// composable noise.NoiseProfile (ExponentialNoise, BimodalNoise,
+	// PeriodicNoise, combinations, or an empirical mixture Profile);
 	// nil means a noise-free system.
-	NoiseProfile *noise.Profile
+	Noise noise.NoiseProfile
 }
 
 // Validate checks the machine description.
@@ -62,12 +65,48 @@ func (m Machine) Validate() error {
 	if m.EagerLimit < 0 {
 		return fmt.Errorf("cluster: %s: negative eager limit", m.Name)
 	}
-	if m.NoiseProfile != nil {
-		if err := m.NoiseProfile.Validate(); err != nil {
+	if m.Noise != nil {
+		if err := m.Noise.Validate(); err != nil {
 			return fmt.Errorf("cluster: %s: %w", m.Name, err)
 		}
 	}
 	return nil
+}
+
+// New validates and completes a custom machine description: it is the
+// builder behind user-defined systems. Zero-valued fields whose zero is
+// not meaningful fall back to the custom baseline — the dual-socket
+// ten-core node structure and bandwidths shared by the paper's systems,
+// and the 131072 B Intel MPI eager limit. Latencies, overheads and Noise
+// are taken as given (zero latency and nil noise are meaningful: an
+// ideal, silent link). To force rendezvous for every message, set an
+// eager limit smaller than the smallest message instead of zero.
+func New(m Machine) (Machine, error) {
+	if m.Name == "" {
+		m.Name = "custom"
+	}
+	if m.CoresPerSocket == 0 {
+		m.CoresPerSocket = 10
+	}
+	if m.SocketsPerNode == 0 {
+		m.SocketsPerNode = 2
+	}
+	if m.MemBandwidth == 0 {
+		m.MemBandwidth = 40e9
+	}
+	if m.NetBandwidth == 0 {
+		m.NetBandwidth = 3e9
+	}
+	if m.IntraBandwidth == 0 {
+		m.IntraBandwidth = 6e9
+	}
+	if m.EagerLimit == 0 {
+		m.EagerLimit = 131072
+	}
+	if err := m.Validate(); err != nil {
+		return Machine{}, err
+	}
+	return m, nil
 }
 
 // CoresPerNode returns the machine's cores per node.
@@ -115,12 +154,14 @@ func (m Machine) FlatNetModel() (netmodel.Model, error) {
 }
 
 // NaturalNoise returns the machine's natural-noise injector (nil for a
-// noise-free machine).
-func (m Machine) NaturalNoise(seed uint64) (mpisim.NoiseFunc, error) {
-	if m.NoiseProfile == nil {
+// noise-free machine). texec scales relative noise components and maps
+// steps to wall time for periodic ones; callers whose machines carry
+// only absolute noise (the built-in systems) may pass zero.
+func (m Machine) NaturalNoise(seed uint64, texec sim.Time) (mpisim.NoiseFunc, error) {
+	if m.Noise == nil {
 		return nil, nil
 	}
-	return m.NoiseProfile.Injector(seed)
+	return m.Noise.Build(seed, texec)
 }
 
 // Emmy returns the InfiniBand system: dual-socket ten-core Ivy Bridge
@@ -129,7 +170,6 @@ func (m Machine) NaturalNoise(seed uint64) (mpisim.NoiseFunc, error) {
 // measured in the paper's Fig. 1 model). SMT is enabled in production, so
 // the natural noise is the mild unimodal Fig. 3a distribution.
 func Emmy() Machine {
-	p := noise.EmmyProfile()
 	return Machine{
 		Name:           "emmy-infiniband",
 		CoresPerSocket: 10,
@@ -142,7 +182,7 @@ func Emmy() Machine {
 		EagerLimit:     131072,
 		SendOverhead:   sim.Micro(0.4),
 		RecvOverhead:   sim.Micro(0.4),
-		NoiseProfile:   &p,
+		Noise:          noise.EmmyNoise(),
 	}
 }
 
@@ -151,7 +191,6 @@ func Emmy() Machine {
 // disabled in production, which exposes the bimodal driver noise of
 // Fig. 3b.
 func Meggie() Machine {
-	p := noise.MeggieProfile()
 	return Machine{
 		Name:           "meggie-omnipath",
 		CoresPerSocket: 10,
@@ -164,7 +203,7 @@ func Meggie() Machine {
 		EagerLimit:     131072,
 		SendOverhead:   sim.Micro(0.6),
 		RecvOverhead:   sim.Micro(0.6),
-		NoiseProfile:   &p,
+		Noise:          noise.MeggieNoise(),
 	}
 }
 
@@ -195,22 +234,10 @@ func All() []Machine {
 // "simulated"), case-sensitively.
 func ByName(name string) (Machine, error) {
 	for _, m := range All() {
-		if m.Name == name || hasPrefix(m.Name, name+"-") || prefixWord(m.Name) == name {
+		word, _, _ := strings.Cut(m.Name, "-")
+		if m.Name == name || strings.HasPrefix(m.Name, name+"-") || word == name {
 			return m, nil
 		}
 	}
 	return Machine{}, fmt.Errorf("cluster: unknown machine %q (want emmy, meggie or simulated)", name)
-}
-
-func hasPrefix(s, prefix string) bool {
-	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
-}
-
-func prefixWord(s string) string {
-	for i := 0; i < len(s); i++ {
-		if s[i] == '-' {
-			return s[:i]
-		}
-	}
-	return s
 }

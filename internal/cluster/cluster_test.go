@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/netmodel"
@@ -133,7 +134,7 @@ func TestNetModelRejectsInvalidMachine(t *testing.T) {
 }
 
 func TestNaturalNoise(t *testing.T) {
-	inj, err := Emmy().NaturalNoise(1)
+	inj, err := Emmy().NaturalNoise(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestNaturalNoise(t *testing.T) {
 			t.Fatalf("Emmy noise sample %v out of expected range", x)
 		}
 	}
-	silent, err := Simulated().NaturalNoise(1)
+	silent, err := Simulated().NaturalNoise(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestByName(t *testing.T) {
 		if err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
-		if prefixWord(m.Name) != name {
+		if word, _, _ := strings.Cut(m.Name, "-"); word != name {
 			t.Errorf("ByName(%q) returned %q", name, m.Name)
 		}
 	}

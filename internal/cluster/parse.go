@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+// ParseMachine builds a machine from the colon-separated flag syntax
+// used by the command-line tools, parallel to topology.Parse and
+// workload.Parse:
+//
+//	emmy | meggie | simulated          a reference machine
+//	<ref>:<option...>                  a modified reference ("meggie:noise=0")
+//	custom:<option...>                 built from the custom baseline (see New)
+//
+// Options:
+//
+//	lat=<dur>        inter-node network latency ("lat=1.2us")
+//	bw=<rate>        inter-node bandwidth ("bw=6.8GB/s", "bw=3e9")
+//	intralat=<dur>   intra-node (shared-memory) latency
+//	intrabw=<rate>   intra-node bandwidth
+//	membw=<rate>     per-socket memory bandwidth
+//	eager=<bytes>    eager limit ("eager=32768", "eager=128KB")
+//	cores=<CxS>      cores per socket x sockets per node ("cores=10x2")
+//	o=<dur>          per-message CPU overhead, both sides
+//	osend=, orecv=   per-message CPU overhead, one side
+//	noise=<spec>     natural-noise profile in the noise.Parse syntax,
+//	                 with '/' standing in for its ':' separators
+//	                 ("noise=0", "noise=exp/2.4us/cap=30us",
+//	                 "noise=periodic/500us@10ms"); "noise=0" silences
+//	                 the machine
+//	name=<s>         override the machine name
+//
+// A modified machine is renamed to its full spec string (so sweep labels
+// and reports are self-describing) unless name= overrides it. Rates
+// accept decimal unit suffixes (KB, MB, GB, TB, optionally followed by
+// /s) or plain Go floats in bytes per second.
+func ParseMachine(s string) (Machine, error) {
+	trimmed := strings.TrimSpace(s)
+	parts := strings.Split(trimmed, ":")
+	base := strings.ToLower(strings.TrimSpace(parts[0]))
+	if base == "" {
+		return Machine{}, fmt.Errorf("cluster: empty machine spec")
+	}
+
+	var m Machine
+	custom := base == "custom"
+	if !custom {
+		ref, err := ByName(base)
+		if err != nil {
+			return Machine{}, fmt.Errorf("cluster: machine spec %q: %w", s, err)
+		}
+		m = ref
+	}
+
+	named := ""
+	for _, opt := range parts[1:] {
+		k, v, err := splitMachineOption(opt)
+		if err != nil {
+			return Machine{}, fmt.Errorf("cluster: machine spec %q: %w", s, err)
+		}
+		switch k {
+		case "lat":
+			m.NetLatency, err = parseLatency(v, "lat")
+		case "bw":
+			m.NetBandwidth, err = parseRate(v, "bw")
+		case "intralat":
+			m.IntraLatency, err = parseLatency(v, "intralat")
+		case "intrabw":
+			m.IntraBandwidth, err = parseRate(v, "intrabw")
+		case "membw":
+			m.MemBandwidth, err = parseRate(v, "membw")
+		case "eager":
+			var limit float64
+			if limit, err = parseSize(v, "eager"); err == nil {
+				m.EagerLimit = int(limit)
+			}
+		case "cores":
+			m.CoresPerSocket, m.SocketsPerNode, err = parseCores(v)
+		case "o":
+			var o sim.Time
+			if o, err = parseLatency(v, "o"); err == nil {
+				m.SendOverhead, m.RecvOverhead = o, o
+			}
+		case "osend":
+			m.SendOverhead, err = parseLatency(v, "osend")
+		case "orecv":
+			m.RecvOverhead, err = parseLatency(v, "orecv")
+		case "noise":
+			m.Noise, err = parseMachineNoise(v)
+		case "name":
+			named = strings.TrimSpace(v)
+		default:
+			err = fmt.Errorf("unknown option %q", k)
+		}
+		if err != nil {
+			return Machine{}, fmt.Errorf("cluster: machine spec %q: %w", s, err)
+		}
+	}
+
+	switch {
+	case named != "":
+		m.Name = named
+	case custom || len(parts) > 1:
+		// A custom or modified machine is named by its spec, so sweep
+		// tables and reports say exactly what ran.
+		m.Name = trimmed
+	}
+	if custom {
+		return New(m)
+	}
+	if err := m.Validate(); err != nil {
+		return Machine{}, err
+	}
+	return m, nil
+}
+
+// parseMachineNoise reads a noise= option value: the noise.Parse syntax
+// with '/' in place of ':' (the machine spec claims ':' for its own
+// separators). A silent spec yields a nil profile (a noise-free
+// machine).
+func parseMachineNoise(v string) (noise.NoiseProfile, error) {
+	np, err := noise.Parse(strings.ReplaceAll(v, "/", ":"))
+	if err != nil {
+		return nil, err
+	}
+	if _, silent := np.(noise.SilentNoise); silent {
+		return nil, nil
+	}
+	return np, nil
+}
+
+// parseCores reads "CxS": cores per socket x sockets per node.
+func parseCores(v string) (cores, sockets int, err error) {
+	c, s, ok := strings.Cut(strings.TrimSpace(v), "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad cores %q (want <cores>x<sockets>, e.g. 10x2)", v)
+	}
+	cores, err = strconv.Atoi(c)
+	if err != nil || cores <= 0 {
+		return 0, 0, fmt.Errorf("bad cores %q (want a positive count per socket)", v)
+	}
+	sockets, err = strconv.Atoi(s)
+	if err != nil || sockets <= 0 {
+		return 0, 0, fmt.Errorf("bad cores %q (want a positive socket count)", v)
+	}
+	return cores, sockets, nil
+}
+
+// parseLatency reads a non-negative duration ("1.2us", "0s").
+func parseLatency(v, key string) (sim.Time, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(v))
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad %s %q (want a non-negative duration like 1.2us)", key, v)
+	}
+	return sim.Time(d.Seconds()), nil
+}
+
+// parseRate reads a positive byte rate: a plain float in bytes per
+// second, or a decimal-unit size with an optional /s ("6.8GB/s").
+func parseRate(v, key string) (float64, error) {
+	f, err := parseSize(strings.TrimSuffix(strings.TrimSpace(v), "/s"), key)
+	if err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+// parseSize reads a positive byte count with optional decimal unit
+// suffix ("32768", "128KB", "1.2e9", "6.8GB").
+func parseSize(v, key string) (float64, error) {
+	s := strings.TrimSpace(v)
+	mult := 1.0
+	upper := strings.ToUpper(s)
+	for _, u := range []struct {
+		suffix string
+		mult   float64
+	}{{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12}, {"B", 1}} {
+		if strings.HasSuffix(upper, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSpace(s[:len(s)-len(u.suffix)])
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f <= 0 {
+		return 0, fmt.Errorf("bad %s %q (want a positive size like 32768, 128KB or 6.8GB/s)", key, v)
+	}
+	return f * mult, nil
+}
+
+// FormatRate renders a byte rate in the ParseMachine syntax
+// ("6.8GB/s"); it is netmodel.FormatRate, re-exposed here next to the
+// parser that reads the spelling back.
+func FormatRate(bw float64) string { return netmodel.FormatRate(bw) }
+
+// splitMachineOption splits "key=value", lowercasing the key.
+func splitMachineOption(opt string) (key, value string, err error) {
+	o := strings.TrimSpace(opt)
+	k, v, ok := strings.Cut(o, "=")
+	if !ok || k == "" || v == "" {
+		return "", "", fmt.Errorf("bad option %q (want key=value)", opt)
+	}
+	return strings.ToLower(strings.TrimSpace(k)), v, nil
+}

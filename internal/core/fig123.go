@@ -55,7 +55,7 @@ func runFig1(opts Options) (*Report, error) {
 			WorkingSet:   triad.WorkingSet,
 			MessageBytes: int(triad.MessageBytes),
 		}
-		natural, err := m.NaturalNoise(jobSeed(opts.Seed, job))
+		natural, err := m.NaturalNoise(jobSeed(opts.Seed, job), 0)
 		if err != nil {
 			return aPoint{}, err
 		}
@@ -132,7 +132,7 @@ func runFig1(opts Options) (*Report, error) {
 			WorkingSet:   triad.WorkingSet,
 			MessageBytes: int(triad.MessageBytes),
 		}
-		natural, err := m.NaturalNoise(jobSeed(opts.Seed, maxSockets+job))
+		natural, err := m.NaturalNoise(jobSeed(opts.Seed, maxSockets+job), 0)
 		if err != nil {
 			return cPoint{}, err
 		}
@@ -195,7 +195,7 @@ func runFig2(opts Options) (*Report, error) {
 	steps := snapshots[len(snapshots)-1] + 1
 
 	wl := workload.LBM{Ranks: ranks, Steps: steps, CellsPerDim: cells}
-	natural, err := m.NaturalNoise(opts.Seed)
+	natural, err := m.NaturalNoise(opts.Seed, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -54,7 +54,7 @@ func runFig8(opts Options) (*Report, error) {
 	points, err := sweep.Map(opts.Workers, grid.Size(), func(job int) (decayPoint, error) {
 		c := grid.Coords(job)
 		m, e, run := machines[c[0]], levels[c[1]], c[2]
-		natural, err := m.NaturalNoise(jobSeed(opts.Seed, job))
+		natural, err := m.NaturalNoise(jobSeed(opts.Seed, job), stdTexec)
 		if err != nil {
 			return decayPoint{}, err
 		}
@@ -193,7 +193,7 @@ func runFig9(opts Options) (*Report, error) {
 		// the two sub-runs gets a freshly built injector pair from the
 		// same seeds, so perturbed and baseline see identical noise.
 		noiseFn := func() (mpisim.NoiseFunc, error) {
-			natural, err := m.NaturalNoise(jobSeed(opts.Seed, job))
+			natural, err := m.NaturalNoise(jobSeed(opts.Seed, job), texec)
 			if err != nil {
 				return nil, err
 			}

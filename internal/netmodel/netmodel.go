@@ -15,6 +15,7 @@ package netmodel
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -203,6 +204,47 @@ func (h *Hierarchical) RecvOverhead(from, to int, bytes int) sim.Time {
 func (h *Hierarchical) ProtocolFor(from, to int, bytes int) Protocol {
 	return h.pick(from, to).ProtocolFor(from, to, bytes)
 }
+
+// String labels the model for sweep tables and reports.
+func (h *Hockney) String() string {
+	return fmt.Sprintf("hockney:lat=%s:bw=%s:eager=%d", sim.FormatDuration(h.Latency), FormatRate(h.Bandwidth), h.EagerLimit)
+}
+
+// String labels the model for sweep tables and reports.
+func (m *LogGOPS) String() string {
+	bw := "inf"
+	if m.G > 0 {
+		bw = FormatRate(1 / float64(m.G))
+	}
+	return fmt.Sprintf("loggops:lat=%s:o=%s/%s:bw=%s:eager=%d",
+		sim.FormatDuration(m.L), sim.FormatDuration(m.OSend), sim.FormatDuration(m.ORecv), bw, m.EagerLimit)
+}
+
+// String labels the model for sweep tables and reports.
+func (h *Hierarchical) String() string {
+	return fmt.Sprintf("hier(%v | %v | %v)", h.IntraSocket, h.IntraNode, h.InterNode)
+}
+
+// FormatRate renders a byte rate with the largest decimal unit that
+// keeps the mantissa >= 1, in the spelling the machine flag parser
+// accepts back ("6.8GB/s"). Shared by every layer that labels
+// bandwidths (model strings, machine specs, sweep axes).
+func FormatRate(bw float64) string {
+	switch {
+	case bw >= 1e12:
+		return fmtMantissa(bw/1e12) + "TB/s"
+	case bw >= 1e9:
+		return fmtMantissa(bw/1e9) + "GB/s"
+	case bw >= 1e6:
+		return fmtMantissa(bw/1e6) + "MB/s"
+	case bw >= 1e3:
+		return fmtMantissa(bw/1e3) + "KB/s"
+	default:
+		return fmtMantissa(bw) + "B/s"
+	}
+}
+
+func fmtMantissa(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
 
 // PingPong estimates the model's half round-trip time for a message size,
 // a convenience for calibration tables and tests.

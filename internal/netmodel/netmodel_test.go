@@ -1,6 +1,7 @@
 package netmodel
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -167,6 +168,106 @@ func TestProtocolThresholdProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// buildTrio returns one model of each family sharing an eager limit,
+// with the hierarchical one spanning a 40-rank compact placement.
+func buildTrio(t *testing.T, eagerLimit int) (*Hockney, *LogGOPS, *Hierarchical) {
+	t.Helper()
+	hock, err := NewHockney(sim.Micro(2), 3e9, eagerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgp, err := NewLogGOPS(sim.Micro(1.8), sim.Micro(0.4), sim.Micro(0.4), sim.Time(1/3e9), 0, eagerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place, err := topology.NewPlacement(40, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := NewLogGOPS(sim.Micro(0.5), sim.Micro(0.4), sim.Micro(0.4), sim.Time(1/6e9), 0, eagerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewHierarchical(place, intra, intra, lgp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hock, lgp, hier
+}
+
+// Property: PingPong is monotone non-decreasing in message size for all
+// three model families, including the hierarchical one on any rank pair.
+func TestPingPongMonotoneInBytesProperty(t *testing.T) {
+	hock, lgp, hier := buildTrio(t, 1<<17)
+	f := func(aRaw, bRaw uint32, fromRaw, toRaw uint8) bool {
+		a, b := int(aRaw%(1<<22)), int(bRaw%(1<<22))
+		if a > b {
+			a, b = b, a
+		}
+		from, to := int(fromRaw)%40, int(toRaw)%40
+		for _, m := range []Model{hock, lgp, hier} {
+			if PingPong(m, from, to, a) > PingPong(m, from, to, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the hierarchical model's inner-model choice is symmetric in
+// the rank pair — Classify is direction-free, so every cost and the
+// protocol must agree between (a,b) and (b,a).
+func TestHierarchicalPickSymmetryProperty(t *testing.T) {
+	_, _, hier := buildTrio(t, 1<<14)
+	f := func(aRaw, bRaw uint8, bytesRaw uint32) bool {
+		a, b := int(aRaw)%40, int(bRaw)%40
+		n := int(bytesRaw % (1 << 20))
+		return PingPong(hier, a, b, n) == PingPong(hier, b, a, n) &&
+			hier.Transfer(a, b, n) == hier.Transfer(b, a, n) &&
+			hier.ProtocolFor(a, b, n) == hier.ProtocolFor(b, a, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all three model families switch protocol consistently at the
+// shared eager limit — Eager at and below it, Rendezvous strictly above,
+// regardless of the rank pair the hierarchical model classifies.
+func TestProtocolSwitchConsistentAcrossModels(t *testing.T) {
+	const limit = 1 << 15
+	hock, lgp, hier := buildTrio(t, limit)
+	pairs := [][2]int{{0, 1}, {0, 5}, {0, 15}, {0, 25}, {12, 38}, {39, 0}}
+	for _, m := range []Model{hock, lgp, hier} {
+		for _, pr := range pairs {
+			for _, c := range []struct {
+				bytes int
+				want  Protocol
+			}{{0, Eager}, {limit - 1, Eager}, {limit, Eager}, {limit + 1, Rendezvous}, {1 << 20, Rendezvous}} {
+				if got := m.ProtocolFor(pr[0], pr[1], c.bytes); got != c.want {
+					t.Errorf("%v: ProtocolFor(%d,%d,%d) = %v, want %v", m, pr[0], pr[1], c.bytes, got, c.want)
+				}
+			}
+		}
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	hock, lgp, hier := buildTrio(t, 1<<17)
+	for _, m := range []Model{hock, lgp, hier} {
+		s, ok := m.(fmt.Stringer)
+		if !ok || s.String() == "" {
+			t.Errorf("%T has no usable String()", m)
+		}
+	}
+	if got := hock.String(); got != "hockney:lat=2µs:bw=3GB/s:eager=131072" {
+		t.Errorf("Hockney String = %q", got)
 	}
 }
 

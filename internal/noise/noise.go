@@ -167,34 +167,21 @@ func Combine(fns ...mpisim.NoiseFunc) mpisim.NoiseFunc {
 }
 
 // EmmyProfile models the InfiniBand cluster's natural noise with SMT
-// enabled (Fig. 3a): approximately exponential, mean 2.4 us, capped below
-// 30 us.
+// enabled (Fig. 3a) as an empirical mixture Profile, derived from the
+// composable EmmyNoise component (the histogram experiments sample the
+// mixture directly).
 func EmmyProfile() Profile {
-	return Profile{
-		Name: "emmy-smt-on",
-		Components: []ProfileComponent{
-			{Weight: 1, Mean: sim.Micro(2.4), Cap: sim.Micro(30)},
-		},
-	}
+	e := EmmyNoise()
+	p := e.profileWith(e.Mean)
+	p.Name = "emmy-smt-on"
+	return p
 }
 
 // MeggieProfile models the Omni-Path cluster's natural noise with SMT
-// disabled (Fig. 3b): the bulk is exponential with mean 2.8 us, plus a
-// distinctive second population near 660 us attributed to the CPU-hungry
-// Omni-Path driver.
+// disabled (Fig. 3b) — an exponential bulk plus the driver spike near
+// 660 us — as an empirical mixture Profile derived from MeggieNoise.
 func MeggieProfile() Profile {
-	return Profile{
-		Name: "meggie-smt-off",
-		Components: []ProfileComponent{
-			{Weight: 0.97, Mean: sim.Micro(2.8), Cap: sim.Micro(30)},
-			{Weight: 0.03, Mean: sim.Micro(25), Offset: sim.Micro(640)},
-		},
-	}
+	p := MeggieNoise().profile()
+	p.Name = "meggie-smt-off"
+	return p
 }
-
-// SilentProfile is a zero-noise reference (the "simulated system").
-// Its injector is nil, meaning no noise at all.
-type SilentProfile struct{}
-
-// Injector returns nil: no noise.
-func (SilentProfile) Injector(uint64) (mpisim.NoiseFunc, error) { return nil, nil }

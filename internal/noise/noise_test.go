@@ -155,8 +155,8 @@ func TestCombine(t *testing.T) {
 	}
 }
 
-func TestSilentProfile(t *testing.T) {
-	inj, err := SilentProfile{}.Injector(1)
+func TestSilentNoise(t *testing.T) {
+	inj, err := SilentNoise{}.Build(1, sim.Milli(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/noise"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -74,11 +75,11 @@ func scanMachine(m cluster.Machine, phases, bins int, seed uint64) (string, erro
 	fmt.Fprintf(&b, "machine %s: %d divide instructions per 3 ms phase, %d phases\n",
 		m.Name, n, phases)
 
-	if m.NoiseProfile == nil {
+	if m.Noise == nil {
 		b.WriteString("machine is noise-free; nothing to scan\n")
 		return b.String(), nil
 	}
-	xs, err := m.NoiseProfile.Sample(seed, phases)
+	xs, err := noise.SampleProfile(m.Noise, seed, sim.Milli(3), phases)
 	if err != nil {
 		return "", err
 	}

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is virtual simulation time in seconds.
@@ -37,6 +38,13 @@ func Micro(us float64) Time { return Time(us * 1e-6) }
 
 // Milli converts milliseconds to Time.
 func Milli(ms float64) Time { return Time(ms * 1e-3) }
+
+// FormatDuration renders a Time in time.Duration syntax rounded to
+// nanoseconds ("2.4µs", "10ms") — the spelling the flag parsers accept
+// back, shared by every layer that renders re-parseable specs.
+func FormatDuration(t Time) string {
+	return time.Duration(math.Round(float64(t) * 1e9)).String()
+}
 
 // Micros reports t in microseconds.
 func (t Time) Micros() float64 { return float64(t) * 1e6 }

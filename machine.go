@@ -1,0 +1,136 @@
+package idlewave
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Machine aliases cluster.Machine, the description of a simulated
+// system: node structure (cores per socket, sockets per node), memory
+// bandwidth, communication parameters (latencies, bandwidths, CPU
+// overheads, eager limit) and the natural-noise profile. Time-valued
+// fields are in seconds and bandwidths in bytes per second (untyped
+// constants assign directly: NetLatency: 1.8e-6); the friendlier paths
+// are NewMachine for programmatic construction and ParseMachine for the
+// flag syntax.
+type Machine = cluster.Machine
+
+// Emmy returns the InfiniBand reference system.
+func Emmy() Machine { return cluster.Emmy() }
+
+// Meggie returns the Omni-Path reference system.
+func Meggie() Machine { return cluster.Meggie() }
+
+// Simulated returns the idealized pure-Hockney reference system.
+func Simulated() Machine { return cluster.Simulated() }
+
+// NewMachine validates and completes a custom machine description:
+// zero-valued fields whose zero is not meaningful fall back to the
+// custom baseline (dual-socket ten-core nodes, 40 GB/s sockets, 3 GB/s
+// inter-node links, the 131072 B eager limit). Latencies, overheads and
+// Noise are taken as given — zero latency and nil noise mean an ideal,
+// silent link.
+func NewMachine(m Machine) (Machine, error) { return cluster.New(m) }
+
+// ParseMachine builds a machine from the command-line flag syntax:
+// "emmy", "meggie:noise=0",
+// "custom:lat=1.2us:bw=6.8GB/s:eager=32768:cores=10x2". Options are
+// lat, bw, intralat, intrabw, membw, eager, cores=<CxS>, o/osend/orecv,
+// noise (the ParseNoise syntax with ':' spelled '/') and name. See
+// cmd/idlewave -machine and cmd/sweep -machine.
+func ParseMachine(s string) (Machine, error) { return cluster.ParseMachine(s) }
+
+// NetModel is the point-to-point communication cost model a scenario
+// runs on: wire transfer time, per-message CPU overheads, and the
+// eager/rendezvous protocol choice. Hockney, LogGOPS and Hierarchical
+// are the built-in implementations; anything satisfying the interface
+// plugs into ScenarioSpec.NetModel.
+type NetModel = netmodel.Model
+
+// Hockney is the classic alpha-beta model: T(s) = Latency + s/Bandwidth,
+// with no CPU overheads.
+type Hockney = netmodel.Hockney
+
+// LogGOPS is a LogGOPS-flavored model with explicit per-message CPU
+// overheads on both sides.
+type LogGOPS = netmodel.LogGOPS
+
+// Hierarchical selects different inner models for intra-socket,
+// intra-node and inter-node rank pairs.
+type Hierarchical = netmodel.Hierarchical
+
+// Locator maps ranks to their socket and node, the information a
+// Hierarchical model classifies rank pairs with; Machine.Placement
+// builds one.
+type Locator = topology.Locator
+
+// NewHockney builds a validated Hockney model from a latency, an
+// asymptotic bandwidth in bytes per second, and the eager limit in
+// bytes.
+func NewHockney(latency time.Duration, bandwidth float64, eagerLimit int) (*Hockney, error) {
+	return netmodel.NewHockney(sim.Time(latency.Seconds()), bandwidth, eagerLimit)
+}
+
+// NewLogGOPS builds a validated LogGOPS model: wire latency, the
+// per-message CPU overheads spent by sender and receiver, the asymptotic
+// bandwidth in bytes per second, and the eager limit in bytes.
+func NewLogGOPS(latency, sendOverhead, recvOverhead time.Duration, bandwidth float64, eagerLimit int) (*LogGOPS, error) {
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("idlewave: non-positive bandwidth %g", bandwidth)
+	}
+	return netmodel.NewLogGOPS(sim.Time(latency.Seconds()), sim.Time(sendOverhead.Seconds()),
+		sim.Time(recvOverhead.Seconds()), sim.Time(1/bandwidth), 0, eagerLimit)
+}
+
+// NewHierarchical builds a validated hierarchical model over a rank
+// placement: loc classifies rank pairs (Machine.Placement builds one),
+// and each locality class gets its own inner model.
+func NewHierarchical(loc Locator, intraSocket, intraNode, interNode NetModel) (*Hierarchical, error) {
+	return netmodel.NewHierarchical(loc, intraSocket, intraNode, interNode)
+}
+
+// NoiseProfile is the composable description of a fine-grained noise
+// source: it validates its parameters and binds itself to a run's seed
+// and execution-phase length. ExponentialNoise, BimodalNoise,
+// PeriodicNoise, SilentNoise and CombineNoise compositions are the
+// built-in implementations; anything satisfying the interface plugs into
+// Machine.Noise and ScenarioSpec.Noise.
+type NoiseProfile = noise.NoiseProfile
+
+// ExponentialNoise is exponentially distributed per-phase noise: set
+// Level for a mean relative to the execution phase (the paper's E) or
+// Mean for an absolute mean delay, plus an optional hard Cap — the shape
+// of the Fig. 3a InfiniBand histogram.
+type ExponentialNoise = noise.ExponentialNoise
+
+// BimodalNoise is an exponential bulk plus an isolated spike at an
+// offset — the Fig. 3b Omni-Path histogram, whose driver produces a
+// second population near 660 us.
+type BimodalNoise = noise.BimodalNoise
+
+// PeriodicNoise is an OS-jitter-style component: a recurring
+// perturbation steals Duration of CPU time every Period of wall-clock
+// time, with an independent random phase per rank.
+type PeriodicNoise = noise.PeriodicNoise
+
+// SilentNoise is the explicit no-noise profile.
+type SilentNoise = noise.SilentNoise
+
+// CombineNoise merges noise profiles into one whose injector adds their
+// contributions, each part drawing from an independent substream of the
+// run's seed.
+func CombineNoise(parts ...NoiseProfile) NoiseProfile { return noise.CombineNoise(parts...) }
+
+// ParseNoise builds a noise profile from the command-line flag syntax:
+// "silent", "exp:1.5" (relative level), "exp:2.4us:cap=30us" (absolute),
+// "periodic:500us@10ms", "bimodal:...", "emmy", "meggie", and
+// "+"-combinations ("exp:0.5+periodic:500us@10ms"). String() on the
+// result renders the syntax back. See cmd/idlewave -noise and cmd/sweep
+// -noise.
+func ParseNoise(s string) (NoiseProfile, error) { return noise.Parse(s) }

@@ -1,0 +1,218 @@
+package idlewave
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// A Noise override of ExponentialNoise{Level: E} must reproduce the
+// scalar NoiseLevel path byte for byte: same traces, same end time, same
+// event count.
+func TestNoiseOverrideMatchesNoiseLevelByteIdentical(t *testing.T) {
+	base := ScenarioSpec{
+		Ranks: 18, Steps: 20,
+		Delay:     []Injection{Inject(5, 1, 13500*time.Microsecond)},
+		Direction: Bidirectional,
+		Seed:      42,
+	}
+	scalar := base
+	scalar.NoiseLevel = 0.3
+	override := base
+	override.Noise = ExponentialNoise{Level: 0.3}
+
+	a, err := Simulate(scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End != b.End || a.Events != b.Events {
+		t.Fatalf("override diverged: end %g vs %g, events %d vs %d", a.End, b.End, a.Events, b.Events)
+	}
+	if !reflect.DeepEqual(a.IdleByStep(), b.IdleByStep()) {
+		t.Error("per-step idle profiles differ")
+	}
+	sa, err := a.WaveSpeed(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.WaveSpeed(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Errorf("wave speeds differ: %g vs %g", sa, sb)
+	}
+}
+
+// A nil NetModel must stay byte-identical to explicitly passing the
+// machine-derived flat model — the override hook may not perturb the
+// default path.
+func TestNilNetModelMatchesExplicitFlatModel(t *testing.T) {
+	base := ScenarioSpec{
+		Ranks: 16, Steps: 15,
+		Delay: []Injection{Inject(8, 1, 15*time.Millisecond)},
+		Seed:  7, NoiseLevel: 0.1,
+	}
+	a, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withModel := base
+	net, err := Emmy().FlatNetModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withModel.NetModel = net
+	b, err := Simulate(withModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End != b.End || a.Events != b.Events {
+		t.Fatalf("explicit flat model diverged: end %g vs %g, events %d vs %d", a.End, b.End, a.Events, b.Events)
+	}
+}
+
+func TestNoiseAndNoiseLevelConflict(t *testing.T) {
+	_, err := Simulate(ScenarioSpec{
+		Ranks: 8, Steps: 5,
+		NoiseLevel: 0.2,
+		Noise:      ExponentialNoise{Level: 0.2},
+	})
+	if err == nil {
+		t.Fatal("spec with both Noise and NoiseLevel accepted")
+	}
+}
+
+// A custom NetModel changes the physics: a much slower link must slow
+// the run down.
+func TestNetModelOverrideTakesEffect(t *testing.T) {
+	base := ScenarioSpec{Ranks: 12, Steps: 10, Seed: 3}
+	fast, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowNet, err := NewHockney(2*time.Millisecond, 1e6, 131072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSlow := base
+	withSlow.NetModel = slowNet
+	slow, err := Simulate(withSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.End <= fast.End {
+		t.Errorf("slow network run (%g s) not slower than default (%g s)", slow.End, fast.End)
+	}
+}
+
+func TestParseMachinePublicRoundTrip(t *testing.T) {
+	m, err := ParseMachine("emmy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, Emmy()) {
+		t.Errorf("ParseMachine(emmy) != Emmy()")
+	}
+	m, err = ParseMachine("custom:lat=1.2us:bw=6.8GB/s:eager=32768:cores=10x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EagerLimit != 32768 || m.NetBandwidth != 6.8e9 || m.CoresPerNode() != 20 {
+		t.Errorf("custom machine fields wrong: %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNoisePublicRoundTrip(t *testing.T) {
+	for _, s := range []string{"exp:1.5", "periodic:500us@10ms", "exp:0.5+periodic:1ms@100ms", "silent"} {
+		p1, err := ParseNoise(s)
+		if err != nil {
+			t.Fatalf("ParseNoise(%q): %v", s, err)
+		}
+		p2, err := ParseNoise(p1.String())
+		if err != nil {
+			t.Fatalf("ParseNoise(%q -> %q): %v", s, p1.String(), err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Errorf("%q: %#v != %#v", s, p1, p2)
+		}
+	}
+}
+
+// The acceptance scenario: a latency x noise-profile sweep on a custom
+// machine must be deterministic at any worker count.
+func TestSweepCustomMachineLatencyNoiseDeterministic(t *testing.T) {
+	machine, err := ParseMachine("custom:lat=2us:bw=3GB/s:noise=exp/2.4us/cap=30us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SweepSpec{
+		Base: ScenarioSpec{
+			Machine: machine,
+			Ranks:   12, Steps: 10,
+			Delay: []Injection{Inject(6, 1, 10*time.Millisecond)},
+			Seed:  11,
+		},
+		Axes: []SweepAxis{
+			LatencyAxis(1*time.Microsecond, 5*time.Microsecond, 20*time.Microsecond),
+			NoiseProfileAxis(
+				SilentNoise{},
+				ExponentialNoise{Level: 0.4},
+				PeriodicNoise{Duration: 500e-6, Period: 10e-3},
+			),
+		},
+		Metrics: []Metric{MetricWaveSpeed(6), MetricTotalIdle(), MetricRuntime()},
+	}
+	render := func(workers int) string {
+		s := spec
+		s.Workers = workers
+		tbl, err := Sweep(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	for _, workers := range []int{3, 0} {
+		if got := render(workers); got != serial {
+			t.Errorf("workers=%d sweep differs from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty sweep output")
+	}
+}
+
+// LatencyAxis must modify a copy of the machine per point, not the base
+// spec's machine value, and default the machine to Emmy when unset.
+func TestLatencyAxisDefaultsAndCopies(t *testing.T) {
+	ax := LatencyAxis(4*time.Microsecond, 9*time.Microsecond)
+	var s ScenarioSpec
+	ax.Apply(&s, 0)
+	if s.Machine.Name != Emmy().Name {
+		t.Errorf("machine not defaulted: %q", s.Machine.Name)
+	}
+	if s.Machine.NetLatency != 4e-6 {
+		t.Errorf("latency = %g", float64(s.Machine.NetLatency))
+	}
+	s2 := ScenarioSpec{Machine: Meggie()}
+	ax.Apply(&s2, 1)
+	if s2.Machine.Name != Meggie().Name || s2.Machine.NetLatency != 9e-6 {
+		t.Errorf("machine axis composition broken: %+v", s2.Machine)
+	}
+	if Meggie().NetLatency == 9e-6 {
+		t.Error("base Meggie machine mutated")
+	}
+}

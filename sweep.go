@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/topology"
 )
@@ -162,6 +165,86 @@ func workloadLabel(w Workload) string {
 		return s.String()
 	}
 	return fmt.Sprintf("%T", w)
+}
+
+// NoiseProfileAxis varies the injected-noise profile — mixing
+// exponential, periodic, bimodal, silent and combined profiles in one
+// sweep. Labels come from each profile's String() (the ParseNoise
+// syntax). A profile set this way replaces the scalar NoiseLevel, so a
+// noise-profile axis should not be combined with NoiseAxis; the base
+// spec's NoiseLevel is cleared.
+func NoiseProfileAxis(ps ...NoiseProfile) SweepAxis {
+	labels := make([]string, len(ps))
+	for i, p := range ps {
+		labels[i] = p.String()
+	}
+	return SweepAxis{
+		Name:   "noise",
+		Labels: labels,
+		Apply: func(s *ScenarioSpec, i int) {
+			s.Noise = ps[i]
+			s.NoiseLevel = 0
+		},
+	}
+}
+
+// NetModelAxis varies the communication cost model directly — mixing
+// Hockney, LogGOPS, hierarchical and custom models in one sweep,
+// independent of the machine the scenario otherwise describes. Labels
+// come from each model's String() when it has one.
+func NetModelAxis(ms ...NetModel) SweepAxis {
+	labels := make([]string, len(ms))
+	for i, m := range ms {
+		labels[i] = fmt.Sprint(m)
+	}
+	return SweepAxis{
+		Name:   "netmodel",
+		Labels: labels,
+		Apply:  func(s *ScenarioSpec, i int) { s.NetModel = ms[i] },
+	}
+}
+
+// LatencyAxis varies the machine's inter-node network latency — the
+// knob behind the paper's machine-dependent wave speeds. The base
+// spec's machine (Emmy when unset) is copied and modified per point, so
+// a latency axis composes with MachineAxis when MachineAxis comes
+// first.
+func LatencyAxis(ls ...time.Duration) SweepAxis {
+	labels := make([]string, len(ls))
+	for i, l := range ls {
+		labels[i] = l.String()
+	}
+	return SweepAxis{
+		Name:   "latency",
+		Labels: labels,
+		Apply: func(s *ScenarioSpec, i int) {
+			if s.Machine.Name == "" {
+				s.Machine = Emmy()
+			}
+			s.Machine.NetLatency = sim.Time(ls[i].Seconds())
+		},
+	}
+}
+
+// BandwidthAxis varies the machine's inter-node network bandwidth in
+// bytes per second. Like LatencyAxis it modifies a copy of the base
+// spec's machine (Emmy when unset), so it composes with MachineAxis
+// when MachineAxis comes first.
+func BandwidthAxis(bws ...float64) SweepAxis {
+	labels := make([]string, len(bws))
+	for i, bw := range bws {
+		labels[i] = cluster.FormatRate(bw)
+	}
+	return SweepAxis{
+		Name:   "bandwidth",
+		Labels: labels,
+		Apply: func(s *ScenarioSpec, i int) {
+			if s.Machine.Name == "" {
+				s.Machine = Emmy()
+			}
+			s.Machine.NetBandwidth = bws[i]
+		},
+	}
 }
 
 // SeedAxis varies the random seed — the usual way to repeat every grid
