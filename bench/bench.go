@@ -18,6 +18,7 @@ import (
 	"repro/internal/noise"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/wave"
 	"repro/internal/workload"
 )
 
@@ -28,17 +29,32 @@ type Case struct {
 	Name string
 	// Detail is a one-line description for reports.
 	Detail string
-	F      func(b *testing.B)
+	// MemRefCase and MaxBytesRatio declare a cross-case memory-scaling
+	// bound: this case's bytes/op must stay below MaxBytesRatio times
+	// the bytes/op of the named reference case. cmd/bench enforces the
+	// bound when gating (-gate), turning "memory stays proportional to
+	// the active state, not the rank count" into a regression test.
+	MemRefCase    string
+	MaxBytesRatio float64
+	F             func(b *testing.B)
 }
 
 // Suite returns the fixed benchmark suite in its canonical order.
 func Suite() []Case {
 	return []Case{
-		{"EngineSchedule", "engine microbenchmark: schedule+run 1024 pending events", EngineSchedule},
-		{"ChainWave1D", "64-rank open chain, 30 steps, eager protocol, center delay", ChainWave1D},
-		{"Torus2D", "16x16 periodic torus halo exchange, 20 steps, center delay", Torus2D},
-		{"LBMMemBound", "16-rank memory-bound LBM proxy with socket bandwidth sharing", LBMMemBound},
-		{"NoiseSweep", "8-seed exponential-noise sweep on a 32-rank ring", NoiseSweep},
+		{Name: "EngineSchedule", Detail: "engine microbenchmark: schedule+run 1024 pending events", F: EngineSchedule},
+		{Name: "ChainWave1D", Detail: "64-rank open chain, 30 steps, eager protocol, center delay", F: ChainWave1D},
+		{Name: "Torus2D", Detail: "16x16 periodic torus halo exchange, 20 steps, center delay", F: Torus2D},
+		{Name: "LBMMemBound", Detail: "16-rank memory-bound LBM proxy with socket bandwidth sharing", F: LBMMemBound},
+		{Name: "NoiseSweep", Detail: "8-seed exponential-noise sweep on a 32-rank ring", F: NoiseSweep},
+		{Name: "ChainWave1k", Detail: "1000-rank open chain, 60 steps, full trace (dense memory reference)", F: ChainWave1k},
+		{
+			Name:          "ChainWave100k",
+			Detail:        "100k-rank open chain, 12 steps, trace off, streaming front tracking",
+			MemRefCase:    "ChainWave1k",
+			MaxBytesRatio: 20,
+			F:             ChainWave100k,
+		},
 	}
 }
 
@@ -165,6 +181,69 @@ func LBMMemBound(b *testing.B) {
 		CoreBandwidth:   8e9,
 	}
 	mpiCase{cfg: cfg, progs: progs}.run(b)
+}
+
+// ChainWave1k scales the canonical chain experiment to 1000 ranks with
+// the full trace recorded — the dense-memory reference point the 100k
+// case's bytes/op bound is measured against.
+func ChainWave1k(b *testing.B) {
+	const ranks, steps = 1000, 60
+	chain, err := topology.NewChain(ranks, 1, topology.Bidirectional, topology.Open)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.BulkSync{
+		Topo: chain, Steps: steps, Texec: sim.Milli(3), Bytes: 8192,
+		Injections: []noise.Injection{{Rank: ranks / 2, Step: 2, Duration: sim.Milli(15)}},
+	}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mpiCase{cfg: mpisim.Config{Ranks: ranks, Net: hockney(b)}, progs: progs}.run(b)
+}
+
+// ChainWave100k is the sparse-state scaling case: a 10^5-rank chain
+// wave with the trace recorder off and the front extracted incrementally
+// from the wait stream. Memory stays proportional to the live simulation
+// state (ranks and in-flight messages), not the rank x step trace — the
+// suite declares a bytes/op bound of 20x the 1000-rank dense case and
+// cmd/bench -gate enforces it.
+func ChainWave100k(b *testing.B) {
+	const ranks, steps = 100_000, 12
+	chain, err := topology.NewChain(ranks, 1, topology.Bidirectional, topology.Open)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.BulkSync{
+		Topo: chain, Steps: steps, Texec: sim.Milli(3), Bytes: 8192,
+		Injections: []noise.Injection{{Rank: ranks / 2, Step: 2, Duration: sim.Milli(15)}},
+	}
+	progs, err := wl.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := hockney(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		tracker := wave.NewFrontTracker(chain, ranks/2, sim.Milli(3)/2)
+		cfg := mpisim.Config{
+			Ranks: ranks, Net: net,
+			Trace:  mpisim.TraceOff,
+			OnWait: tracker.Observe,
+		}
+		res, err := mpisim.Run(cfg, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tracker.Samples() == 0 {
+			b.Fatal("front tracker observed no idle wave")
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/op")
 }
 
 // noiseSeeds is the per-iteration seed count of NoiseSweep: the

@@ -10,11 +10,14 @@ func BenchmarkChainWave1D(b *testing.B)    { ChainWave1D(b) }
 func BenchmarkTorus2D(b *testing.B)        { Torus2D(b) }
 func BenchmarkLBMMemBound(b *testing.B)    { LBMMemBound(b) }
 func BenchmarkNoiseSweep(b *testing.B)     { NoiseSweep(b) }
+func BenchmarkChainWave1k(b *testing.B)    { ChainWave1k(b) }
+func BenchmarkChainWave100k(b *testing.B)  { ChainWave100k(b) }
 
 // TestSuiteNamesMatchWrappers pins the suite order and names, so the
 // JSON trajectory and the -bench output stay in sync.
 func TestSuiteNamesMatchWrappers(t *testing.T) {
-	want := []string{"EngineSchedule", "ChainWave1D", "Torus2D", "LBMMemBound", "NoiseSweep"}
+	want := []string{"EngineSchedule", "ChainWave1D", "Torus2D", "LBMMemBound", "NoiseSweep",
+		"ChainWave1k", "ChainWave100k"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d cases, want %d", len(suite), len(want))
@@ -25,6 +28,29 @@ func TestSuiteNamesMatchWrappers(t *testing.T) {
 		}
 		if c.F == nil {
 			t.Errorf("case %q has nil function", c.Name)
+		}
+	}
+}
+
+// TestMemBoundsReferenceSuiteCases checks every declared cross-case
+// memory bound names a case that exists in the suite.
+func TestMemBoundsReferenceSuiteCases(t *testing.T) {
+	names := make(map[string]bool)
+	for _, c := range Suite() {
+		names[c.Name] = true
+	}
+	for _, c := range Suite() {
+		if c.MemRefCase == "" {
+			if c.MaxBytesRatio != 0 {
+				t.Errorf("case %q sets MaxBytesRatio without MemRefCase", c.Name)
+			}
+			continue
+		}
+		if !names[c.MemRefCase] {
+			t.Errorf("case %q references unknown memory-reference case %q", c.Name, c.MemRefCase)
+		}
+		if c.MaxBytesRatio <= 0 {
+			t.Errorf("case %q sets MemRefCase without a positive MaxBytesRatio", c.Name)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 // Command bench runs the repository's fixed performance suite (see
 // package bench) through testing.Benchmark and writes a machine-readable
-// JSON report: ns/op, allocs/op, bytes/op and events/sec per case.
+// JSON report: ns/op, allocs/op, bytes/op, events/sec and observed peak
+// RSS per case.
 //
 // Usage:
 //
@@ -8,14 +9,19 @@
 //	bench -o BENCH_pr4.json          # write the report to a file
 //	bench -baseline old.json -o new.json   # embed a baseline + speedups
 //	bench -run Chain,Torus           # run a subset of the suite
-//	bench -baseline old.json -gate 1.15    # fail on >1.15x ns/op regression
+//	bench -baseline old.json -gate 1.15    # fail on regressions
+//	bench -max-rss 2147483648        # cap observed peak RSS at 2 GiB
 //
 // With -baseline, the previous report's numbers are embedded under
 // "baseline" and per-case speedup ratios (old/new ns/op, old/new
 // allocs/op) under "vs_baseline", giving PRs a perf trajectory to quote.
-// With -gate, the command exits non-zero when any case's ns/op exceeds
-// the baseline by more than the given ratio — the report is still
-// written first, so CI artifacts carry the regressing numbers.
+// With -gate, the command exits non-zero when any case's ns/op or
+// bytes/op exceeds the baseline by more than the given ratio, or when a
+// case breaks the cross-case memory-scaling bound its suite entry
+// declares (Case.MemRefCase/MaxBytesRatio) — the report is still written
+// first, so CI artifacts carry the regressing numbers. With -max-rss,
+// the process's peak resident set (Linux VmHWM; monotonic across the
+// run) must stay under the given byte count.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -41,6 +48,13 @@ type caseResult struct {
 	BytesPerOp   float64 `json:"bytes_per_op"`
 	EventsPerOp  float64 `json:"events_per_op,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// PeakRSSBytes is the process's high-water resident set observed
+	// after this case ran (Linux VmHWM; 0 where unavailable). The value
+	// is monotonic across the process lifetime, so it attributes memory
+	// to the first case that reached the high water, not necessarily the
+	// one it is recorded under — an upper bound per case, exact for the
+	// run as a whole.
+	PeakRSSBytes float64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // comparison is a case's ratio against the baseline report.
@@ -71,8 +85,9 @@ func main() {
 		out      = flag.String("o", "", "write the JSON report to this file (default stdout)")
 		baseline = flag.String("baseline", "", "embed this previous report and compute speedups against it")
 		filter   = flag.String("run", "", "comma-separated case-name substrings to run (default: all)")
-		gate     = flag.Float64("gate", 0, "with -baseline: exit non-zero when any case's ns/op exceeds baseline by more than this ratio (e.g. 1.15)")
+		gate     = flag.Float64("gate", 0, "with -baseline: exit non-zero when any case's ns/op or bytes/op exceeds baseline by more than this ratio (e.g. 1.15); also enforces the suite's declared cross-case memory bounds")
 		best     = flag.Int("best", 1, "measure each case this many times and keep the fastest run (noise suppression for gated CI timing)")
+		maxRSS   = flag.Int64("max-rss", 0, "exit non-zero when the process's peak RSS exceeds this many bytes (0 = no cap)")
 	)
 	flag.Parse()
 	if *best < 1 {
@@ -121,6 +136,7 @@ func main() {
 			cr.EventsPerOp = ev
 			cr.EventsPerSec = ev / (cr.NsPerOp * 1e-9)
 		}
+		cr.PeakRSSBytes = float64(peakRSSBytes())
 		rep.Benchmarks = append(rep.Benchmarks, cr)
 	}
 
@@ -168,18 +184,20 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bench: %-16s %.2fx faster, %s\n", c.Name, c.SpeedupNs, allocs)
 	}
+	failed := false
 	if *gate > 0 {
 		// SpeedupNs is baseline/current: below 1/gate means the case got
 		// more than gate-times slower than the baseline. A baseline case
 		// with no current counterpart also fails — a renamed or filtered
 		// suite case must not silently escape the gate.
-		current := make(map[string]bool, len(rep.Benchmarks))
+		current := make(map[string]caseResult, len(rep.Benchmarks))
 		for _, c := range rep.Benchmarks {
-			current[c.Name] = true
+			current[c.Name] = c
 		}
-		failed := false
+		baseByName := make(map[string]caseResult, len(rep.Baseline.Benchmarks))
 		for _, b := range rep.Baseline.Benchmarks {
-			if !current[b.Name] {
+			baseByName[b.Name] = b
+			if _, ok := current[b.Name]; !ok {
 				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: baseline case missing from this run (renamed, removed, or excluded by -run)\n", b.Name)
 				failed = true
 			}
@@ -191,11 +209,94 @@ func main() {
 				failed = true
 			}
 		}
-		if failed {
-			os.Exit(1)
+		// bytes/op regressions gate at the same ratio. Allocation volume
+		// is deterministic for a fixed suite, so this is far less noisy
+		// than timing; a case that starts allocating where the baseline
+		// did not fails outright.
+		for _, c := range rep.Benchmarks {
+			b, ok := baseByName[c.Name]
+			if !ok {
+				continue // new case, no baseline to compare
+			}
+			switch {
+			case b.BytesPerOp == 0 && c.BytesPerOp > 0:
+				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: allocates %.0f B/op where the baseline allocated nothing\n",
+					c.Name, c.BytesPerOp)
+				failed = true
+			case b.BytesPerOp > 0 && c.BytesPerOp > b.BytesPerOp**gate:
+				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: %.0f B/op, %.2fx the baseline's %.0f B/op (gate %.2fx)\n",
+					c.Name, c.BytesPerOp, c.BytesPerOp/b.BytesPerOp, b.BytesPerOp, *gate)
+				failed = true
+			}
 		}
-		fmt.Fprintf(os.Stderr, "bench: gate ok: no case more than %.2fx slower than baseline\n", *gate)
+		// Cross-case memory-scaling bounds declared by the suite itself
+		// (e.g. the 100k-rank case must stay under a fixed multiple of
+		// the 1k-rank dense case's bytes/op).
+		for _, sc := range bench.Suite() {
+			if sc.MemRefCase == "" || sc.MaxBytesRatio <= 0 {
+				continue
+			}
+			c, okC := current[sc.Name]
+			ref, okR := current[sc.MemRefCase]
+			if !okC || !okR {
+				continue // not part of this (filtered) run
+			}
+			if ref.BytesPerOp <= 0 {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: memory reference %s reports no bytes/op to bound against\n",
+					sc.Name, sc.MemRefCase)
+				failed = true
+				continue
+			}
+			if ratio := c.BytesPerOp / ref.BytesPerOp; ratio > sc.MaxBytesRatio {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: %.0f B/op is %.1fx %s's %.0f B/op (bound %.1fx)\n",
+					sc.Name, c.BytesPerOp, ratio, sc.MemRefCase, ref.BytesPerOp, sc.MaxBytesRatio)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "bench: memory bound ok: %s at %.1fx of %s (bound %.1fx)\n",
+					sc.Name, ratio, sc.MemRefCase, sc.MaxBytesRatio)
+			}
+		}
+		if !failed {
+			fmt.Fprintf(os.Stderr, "bench: gate ok: no case more than %.2fx slower or bigger than baseline\n", *gate)
+		}
 	}
+	if *maxRSS > 0 {
+		if peak := peakRSSBytes(); peak > *maxRSS {
+			fmt.Fprintf(os.Stderr, "bench: GATE FAIL peak RSS %d bytes exceeds cap %d bytes\n", peak, *maxRSS)
+			failed = true
+		} else if peak > 0 {
+			fmt.Fprintf(os.Stderr, "bench: peak RSS %d bytes within cap %d bytes\n", peak, *maxRSS)
+		} else {
+			fmt.Fprintln(os.Stderr, "bench: peak RSS unavailable on this platform; -max-rss not enforced")
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// peakRSSBytes returns the process's high-water resident set size in
+// bytes (Linux /proc/self/status VmHWM), or 0 where unavailable.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 func selected(name, filter string) bool {

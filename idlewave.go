@@ -190,7 +190,33 @@ type ScenarioSpec struct {
 	NoiseLevel float64
 	// Seed makes noise reproducible.
 	Seed uint64
+	// Trace selects how much of the run is recorded. The default,
+	// TraceFull, keeps the complete per-rank timeline and powers every
+	// Result analytic. TraceSteps keeps only per-step completion times;
+	// TraceOff records nothing — the mode for 10^5-rank scenarios, where
+	// the trace would dwarf the simulation state. With reduced tracing,
+	// trace-based analytics (IdleByStep, TotalIdle, MemBandwidth, ...)
+	// see an empty trace; wave-front analytics remain available for the
+	// ranks listed in FrontSources.
+	Trace TraceMode
+	// FrontSources lists source ranks whose idle-wave fronts are tracked
+	// incrementally during the run (constant memory per rank, no trace
+	// buffering). With Trace reduced, WaveSpeed/WaveDecay/ShellArrivals
+	// work only for these sources; under TraceFull the recorded trace
+	// serves every source and FrontSources is unnecessary.
+	FrontSources []int
 }
+
+// TraceMode selects how much of a run the simulator records; see the
+// ScenarioSpec.Trace field.
+type TraceMode = mpisim.TraceMode
+
+// Trace modes, re-exported from the simulator.
+const (
+	TraceFull  = mpisim.TraceFull
+	TraceSteps = mpisim.TraceSteps
+	TraceOff   = mpisim.TraceOff
+)
 
 // withDefaults resolves the spec's defaulted fields — Machine, Texec and
 // MessageBytes — to the values a run actually uses, so recorded specs
@@ -280,6 +306,11 @@ type Result struct {
 	// pass. Guarded by mu: Results may be read from concurrent sweeps.
 	mu     sync.Mutex
 	fronts map[int]wave.Front
+
+	// streamFronts holds the incrementally tracked fronts of
+	// spec.FrontSources — the only front data available when the run
+	// recorded no segment timeline.
+	streamFronts map[int]*wave.FrontTracker
 }
 
 // Topology returns the resolved topology the scenario ran on (nil for
@@ -365,12 +396,12 @@ func Simulate(spec ScenarioSpec) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
-	res, err := spec.run(progs)
+	res, trackers, err := spec.run(topo, progs)
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
 	return &Result{Traces: res.Traces, End: float64(res.End), Events: res.Events,
-		spec: spec, topo: topo, workload: wl}, nil
+		spec: spec, topo: topo, workload: wl, streamFronts: trackers}, nil
 }
 
 // run executes the built programs on the spec's machine. Compute-bound
@@ -379,21 +410,23 @@ func Simulate(spec ScenarioSpec) (*Result, error) {
 // compact placement with the hierarchical network, shared socket
 // bandwidth and communication-DMA charging (the Fig. 1/2 configuration).
 // A non-nil spec.NetModel replaces the machine-derived model; a non-nil
-// spec.Noise replaces the NoiseLevel-derived injected noise.
-func (s ScenarioSpec) run(progs []mpisim.Program) (*mpisim.Result, error) {
-	cfg := mpisim.Config{Ranks: len(progs)}
+// spec.Noise replaces the NoiseLevel-derived injected noise. The
+// FrontSources trackers (if any) observe the run's wait stream and come
+// back alongside the simulator result.
+func (s ScenarioSpec) run(topo Topology, progs []mpisim.Program) (*mpisim.Result, map[int]*wave.FrontTracker, error) {
+	cfg := mpisim.Config{Ranks: len(progs), Trace: s.Trace}
 	texec := sim.Time(s.Texec.Seconds())
 	if memoryBound(progs) {
 		place, err := s.Machine.Placement(len(progs))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if s.NetModel != nil {
 			cfg.Net = s.NetModel
 		} else {
 			net, err := s.Machine.NetModel(place)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			cfg.Net = net
 		}
@@ -406,25 +439,97 @@ func (s ScenarioSpec) run(progs []mpisim.Program) (*mpisim.Result, error) {
 	} else {
 		net, err := s.Machine.FlatNetModel()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Net = net
 	}
 	natural, err := s.Machine.NaturalNoise(s.Seed, texec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var injected mpisim.NoiseFunc
 	if s.Noise != nil {
 		injected, err = s.Noise.Build(s.Seed+1, texec)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else {
 		injected = noise.Exponential(s.Seed+1, s.NoiseLevel, texec)
 	}
 	cfg.Noise = noise.Combine(natural, injected)
-	return mpisim.Run(cfg, progs)
+
+	trackers, err := s.frontTrackers(topo, len(progs))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(trackers) > 0 {
+		obs := make([]*wave.FrontTracker, 0, len(trackers))
+		for _, src := range s.FrontSources {
+			obs = append(obs, trackers[src])
+		}
+		cfg.OnWait = func(rank, step int, start, end sim.Time) {
+			for _, t := range obs {
+				t.Observe(rank, step, start, end)
+			}
+		}
+	}
+	res, err := mpisim.Run(cfg, progs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, trackers, nil
+}
+
+// frontTrackers builds the incremental wave-front trackers for the
+// spec's FrontSources, using the same hop metric trackFront would pick
+// for a recorded trace.
+func (s ScenarioSpec) frontTrackers(topo Topology, ranks int) (map[int]*wave.FrontTracker, error) {
+	if len(s.FrontSources) == 0 {
+		return nil, nil
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("FrontSources need a topology; process-style workloads have none")
+	}
+	threshold := sim.Time(s.Texec.Seconds()) / 2
+	dt, directed := s.directedWave(topo)
+	trackers := make(map[int]*wave.FrontTracker, len(s.FrontSources))
+	for _, src := range s.FrontSources {
+		if src < 0 || src >= ranks {
+			return nil, fmt.Errorf("front source %d out of range [0,%d)", src, ranks)
+		}
+		if _, dup := trackers[src]; dup {
+			continue
+		}
+		if directed {
+			trackers[src] = wave.NewDirectedFrontTracker(dt, src, threshold)
+		} else {
+			trackers[src] = wave.NewFrontTracker(topo, src, threshold)
+		}
+	}
+	return trackers, nil
+}
+
+// directedWave reports whether the scenario's idle wave travels only in
+// the topology's send direction — an eager-protocol wave on a
+// forward-only topology — in which case fronts must use the directed
+// hop metric (the symmetric one would fold a wrapped front back onto
+// itself).
+func (s ScenarioSpec) directedWave(topo Topology) (topology.Directed, bool) {
+	eager := s.MessageBytes <= s.Machine.EagerLimit
+	if s.NetModel != nil {
+		// An override model carries its own protocol switch, and a
+		// hierarchical one may answer differently per rank pair (the
+		// tiers can have different eager limits). The directed tracker
+		// is only sound when every edge the wave travels is eager, so
+		// probe the topology's actual send edges.
+		eager = allEdgesEager(s.NetModel, topo, s.MessageBytes)
+	}
+	if eager && topology.ForwardOnly(topo) {
+		if dt, ok := topo.(topology.Directed); ok {
+			return dt, true
+		}
+	}
+	return nil, false
 }
 
 // memoryBound reports whether any execution phase streams memory.
@@ -506,22 +611,20 @@ func (r *Result) front(source int) wave.Front {
 // so on a unidirectional topology with wrap-around (ring or torus) the
 // front is tracked with the directed metric — the symmetric metric
 // would fold the wrapped front back onto itself. Every other pattern
-// uses the topology's own symmetric hop metric.
+// uses the topology's own symmetric hop metric. Runs without a recorded
+// segment timeline fall back to the incrementally tracked FrontSources;
+// a source that was neither recorded nor tracked yields an empty front
+// (and the sample-count errors of Speed/Decay downstream).
 func (r *Result) trackFront(source int) wave.Front {
-	threshold := sim.Time(r.spec.Texec.Seconds()) / 2
-	eager := r.spec.MessageBytes <= r.spec.Machine.EagerLimit
-	if r.spec.NetModel != nil {
-		// An override model carries its own protocol switch, and a
-		// hierarchical one may answer differently per rank pair (the
-		// tiers can have different eager limits). The directed tracker
-		// is only sound when every edge the wave travels is eager, so
-		// probe the topology's actual send edges.
-		eager = allEdgesEager(r.spec.NetModel, r.topo, r.spec.MessageBytes)
-	}
-	if eager && topology.ForwardOnly(r.topo) {
-		if dt, ok := r.topo.(topology.Directed); ok {
-			return wave.TrackFrontDirected(r.Traces, dt, source, threshold)
+	if r.spec.Trace != mpisim.TraceFull {
+		if t, ok := r.streamFronts[source]; ok {
+			return t.Front()
 		}
+		return wave.Front{Source: source}
+	}
+	threshold := sim.Time(r.spec.Texec.Seconds()) / 2
+	if dt, ok := r.spec.directedWave(r.topo); ok {
+		return wave.TrackFrontDirected(r.Traces, dt, source, threshold)
 	}
 	return wave.TrackFront(r.Traces, r.topo, source, threshold)
 }

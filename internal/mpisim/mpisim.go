@@ -5,9 +5,13 @@
 // shared-memory-bandwidth execution phases.
 //
 // Each rank runs a Program — a flat list of operations — on top of a
-// discrete-event engine. The simulator records a full trace (execution,
-// delay, noise, wait and overhead segments plus per-step completion times)
-// for every rank; the analytics in internal/wave consume those traces.
+// discrete-event engine. By default the simulator records a full trace
+// (execution, delay, noise, wait and overhead segments plus per-step
+// completion times) for every rank; the analytics in internal/wave
+// consume those traces. Large simulations can instead stream wait
+// segments to an observer (Config.OnWait) and dial recording down with
+// Config.Trace, so memory stays proportional to the live simulation
+// state rather than the full rank x step history.
 //
 // # Protocol semantics
 //
@@ -40,18 +44,25 @@
 // message buffer before answering clear-to-send. Per protocol, order
 // stays FIFO.
 //
-// # Allocation discipline
+// # Allocation discipline and sparse state
 //
 // The simulator is the hot path of every sweep point, so its per-event
 // bookkeeping is pooled and indexed: requests and eager messages come
 // from per-simulation free lists (recycled when their Waitall epoch
-// ends, or when the message is consumed), the matcher keeps per-
-// (source, tag) FIFO queues in a map of pooled slots instead of
-// scanning global lists, Waitall progress is an O(1) counter-and-
-// watermark check instead of an O(pending) rescan, and all hot events
-// go through the engine's typed-callback form so no capture closures
-// are allocated. See docs/ARCHITECTURE.md, "Engine internals &
-// performance".
+// ends, or when the message is consumed), Waitall progress is an O(1)
+// counter-and-watermark check instead of an O(pending) rescan, and all
+// hot events go through the engine's typed-callback form so no capture
+// closures are allocated.
+//
+// Per-rank state is additionally kept sparse, so one scenario scales to
+// 10^5-10^6 ranks: matcher channels live in small per-rank linear lists
+// whose backing storage is recycled to a shared pool the moment a rank's
+// last channel drains (a quiet rank holds no matching state at all),
+// the finite-eager-buffer tracker keeps one small active-receiver list
+// per sender instead of a ranks x ranks matrix (exact at any rank
+// count), and memory-bandwidth sockets materialize on first touch only.
+// See docs/ARCHITECTURE.md, "Engine internals & performance" and
+// "Scaling to 10^5 ranks".
 package mpisim
 
 import (
@@ -85,6 +96,37 @@ func (m ProgressMode) String() string {
 		return "independent"
 	default:
 		return fmt.Sprintf("ProgressMode(%d)", int(m))
+	}
+}
+
+// TraceMode selects how much of the run the simulator records.
+type TraceMode int
+
+const (
+	// TraceFull records every timeline segment and per-step completion
+	// time — the default, and what the dense analytics consume.
+	TraceFull TraceMode = iota
+	// TraceSteps records only per-step completion times (StepEnd); the
+	// segment timeline is dropped. Wave analytics that need wait
+	// segments must stream them through Config.OnWait instead.
+	TraceSteps
+	// TraceOff records nothing; Result.Traces is empty. The run's End
+	// time, event count and any Config.OnWait stream remain available.
+	// This is the mode for 10^5-rank scenarios, where the full trace
+	// would dwarf the live simulation state.
+	TraceOff
+)
+
+func (m TraceMode) String() string {
+	switch m {
+	case TraceFull:
+		return "full"
+	case TraceSteps:
+		return "steps"
+	case TraceOff:
+		return "off"
+	default:
+		return fmt.Sprintf("TraceMode(%d)", int(m))
 	}
 }
 
@@ -141,6 +183,12 @@ type Program []Op
 
 // NoiseFunc returns extra execution time injected into the given rank's
 // execution phase of the given step (fine-grained noise, Eq. 3).
+//
+// For snapshot/restore to reproduce a run byte-identically, a NoiseFunc
+// must be either a pure function of (rank, step) or draw one sample per
+// call from a per-rank stream in call order — the two shapes every
+// injector in internal/noise has. Restore fast-forwards stateful streams
+// by replaying each rank's recorded draw count.
 type NoiseFunc func(rank, step int) sim.Time
 
 // Config parameterizes a simulation run.
@@ -174,6 +222,13 @@ type Config struct {
 	// accesses). The paper's Eq. 1 model ignores this cost, which is one
 	// reason it is optimistic for communication-heavy runs (Fig. 1).
 	ChargeCommBandwidth bool
+	// Trace selects how much of the run is recorded; see TraceMode.
+	Trace TraceMode
+	// OnWait, if non-nil, streams every positive-length Waitall wait
+	// interval the moment it completes, in event order. It fires in
+	// every trace mode, so analytics can run incrementally (see
+	// wave.FrontTracker) without buffering the full trace.
+	OnWait func(rank, step int, start, end sim.Time)
 }
 
 // Result is the outcome of a run.
@@ -223,8 +278,7 @@ type eagerMsg struct {
 // matchKey identifies one FIFO matching channel at a receiver: the
 // sending peer and the message tag. Matching in this simulator is always
 // exact on both (no wildcards), so indexing by key preserves MPI's
-// per-(source, tag) FIFO ordering while making lookup O(1) instead of a
-// linear scan over all outstanding operations of the rank.
+// per-(source, tag) FIFO ordering.
 type matchKey struct{ peer, tag int }
 
 // fifo is a head-indexed FIFO that reuses its backing array: popping
@@ -251,6 +305,9 @@ func (q *fifo[T]) pop() T {
 	return v
 }
 
+// live returns the queued items in FIFO order (checkpoint iteration).
+func (q *fifo[T]) live() []T { return q.items[q.head:] }
+
 // matchSlot holds one (peer, tag) channel's three queues: receives posted
 // before the data, eager messages that arrived before their receive, and
 // rendezvous handshakes awaiting a receive. Slots are pooled and returned
@@ -266,27 +323,67 @@ func (sl *matchSlot) empty() bool {
 	return sl.postedRecvs.empty() && sl.unexpEager.empty() && sl.unexpRTS.empty()
 }
 
-// matcher is the per-rank message-matching engine, indexed by
-// (source, tag); FIFO per channel as in MPI.
+// matchEntry is one live channel of a rank's matcher.
+type matchEntry struct {
+	key  matchKey
+	slot *matchSlot
+}
+
+// matcher is the per-rank message-matching engine: the rank's live
+// (source, tag) channels in a small linear list. A rank only ever has a
+// handful of channels in flight at once (its topology neighbors times
+// the tags of the current step), so a linear scan beats a map lookup —
+// and, unlike a map, the backing storage is recycled to the simulation's
+// shared pool the moment the last channel drains, so a quiet rank holds
+// no matching state at all. FIFO order per channel is preserved inside
+// the slot; the entry list's own order is irrelevant (it is only ever
+// scanned for an exact key).
 type matcher struct {
-	slots map[matchKey]*matchSlot
+	entries []matchEntry
+}
+
+// find returns the channel's slot, or nil if the channel is not live.
+func (m *matcher) find(key matchKey) *matchSlot {
+	for i := range m.entries {
+		if m.entries[i].key == key {
+			return m.entries[i].slot
+		}
+	}
+	return nil
 }
 
 // slot returns the channel's slot, creating one from the pool on demand.
 func (m *matcher) slot(s *simulation, key matchKey) *matchSlot {
-	if sl, ok := m.slots[key]; ok {
+	if sl := m.find(key); sl != nil {
 		return sl
 	}
 	sl := s.newSlot()
-	m.slots[key] = sl
+	if m.entries == nil {
+		m.entries = s.newEntryList()
+	}
+	m.entries = append(m.entries, matchEntry{key: key, slot: sl})
 	return sl
 }
 
-// release returns a fully drained slot to the pool. Call after popping.
+// release returns a fully drained slot to the pool and, when that was
+// the rank's last live channel, the entry list too. Call after popping.
 func (m *matcher) release(s *simulation, key matchKey, sl *matchSlot) {
-	if sl.empty() {
-		delete(m.slots, key)
-		s.freeSlots = append(s.freeSlots, sl)
+	if !sl.empty() {
+		return
+	}
+	for i := range m.entries {
+		if m.entries[i].key == key {
+			last := len(m.entries) - 1
+			m.entries[i] = m.entries[last]
+			m.entries[last] = matchEntry{}
+			m.entries = m.entries[:last]
+			break
+		}
+	}
+	s.freeSlots = append(s.freeSlots, sl)
+	if len(m.entries) == 0 && m.entries != nil {
+		s.freeEntryLists = append(s.freeEntryLists, m.entries[:0])
+		m.entries = nil
 	}
 }
 
@@ -318,70 +415,113 @@ type rank struct {
 	phaseStep  int
 	memFloor   sim.Time // fixed compute floor of a memory-bound phase
 
-	rec *trace.Recorder
+	// noiseDraws counts how often the configured NoiseFunc has been
+	// sampled for this rank, so a restored run can fast-forward the
+	// rank's noise stream to exactly where the checkpoint left it.
+	noiseDraws uint64
+
+	rec *rankRecorder
+}
+
+// rankRecorder scales a rank's recording to the configured TraceMode:
+// segs is nil under TraceSteps (step completion times only), and the
+// whole recorder is nil under TraceOff.
+type rankRecorder struct {
+	rec  *trace.Recorder
+	segs bool
+}
+
+func (r *rank) addSeg(kind trace.Kind, start, end sim.Time, step int) {
+	if r.rec != nil && r.rec.segs {
+		r.rec.rec.Add(kind, start, end, step)
+	}
+}
+
+func (r *rank) endStep(step int, at sim.Time) {
+	if r.rec != nil {
+		r.rec.rec.EndStep(step, at)
+	}
 }
 
 type simulation struct {
 	cfg     Config
 	engine  *sim.Engine
-	ranks   []*rank
-	match   []*matcher
+	ranks   []rank // one backing array; event args point into it
+	match   []matcher
 	sockets map[int]*memband.Socket
 	// eager tracks outstanding eager messages per (from, to) pair for
 	// the finite-eager-buffer option; inactive (and free) otherwise.
 	eager eagerTracker
 
 	// free lists (see the package comment's allocation discipline)
-	freeReqs  []*request
-	freeMsgs  []*eagerMsg
-	freeSlots []*matchSlot
+	freeReqs       []*request
+	freeMsgs       []*eagerMsg
+	freeSlots      []*matchSlot
+	freeEntryLists [][]matchEntry
 }
 
-// eagerFlatMaxRanks bounds the dense per-pair counter matrix at
-// 512 x 512 x 4 B = 1 MiB; larger simulations fall back to a map.
-const eagerFlatMaxRanks = 512
-
-// eagerTracker counts in-flight eager messages per (from, to) pair. For
-// the common rank counts it is a flat matrix — one add and one index per
-// update instead of a map hash — and it is entirely inactive when the
+// eagerTracker counts in-flight eager messages per (from, to) pair. It
+// is one sparse structure, exact at any rank count: each sender keeps a
+// small list of the receivers it currently has eager traffic toward
+// (its topology neighbors, in practice), so memory follows the active
+// communication pattern instead of growing as ranks squared. A
+// receiver's entry is dropped the moment its in-flight count returns to
+// zero. The tracker is entirely inactive (and free) when the
 // configuration does not bound eager buffers.
 type eagerTracker struct {
-	n    int
-	flat []int32
-	m    map[[2]int]int
+	rows []eagerRow // indexed by sender
 }
 
-func (t *eagerTracker) init(ranks int) {
-	t.n = ranks
-	if ranks <= eagerFlatMaxRanks {
-		t.flat = make([]int32, ranks*ranks)
-	} else {
-		t.m = make(map[[2]int]int)
-	}
+// eagerRow is one sender's active-receiver list.
+type eagerRow struct {
+	peers []eagerPeer
 }
 
-func (t *eagerTracker) active() bool { return t.flat != nil || t.m != nil }
+// eagerPeer is one receiver the sender has eager messages in flight to.
+type eagerPeer struct {
+	to    int32
+	count int32
+}
+
+func (t *eagerTracker) init(ranks int) { t.rows = make([]eagerRow, ranks) }
+
+func (t *eagerTracker) active() bool { return t.rows != nil }
 
 func (t *eagerTracker) count(from, to int) int {
-	if t.flat != nil {
-		return int(t.flat[from*t.n+to])
+	for _, p := range t.rows[from].peers {
+		if int(p.to) == to {
+			return int(p.count)
+		}
 	}
-	return t.m[[2]int{from, to}]
+	return 0
 }
 
 func (t *eagerTracker) inc(from, to int) {
-	if t.flat != nil {
-		t.flat[from*t.n+to]++
-	} else if t.m != nil {
-		t.m[[2]int{from, to}]++
+	row := &t.rows[from]
+	for i := range row.peers {
+		if int(row.peers[i].to) == to {
+			row.peers[i].count++
+			return
+		}
 	}
+	row.peers = append(row.peers, eagerPeer{to: int32(to), count: 1})
 }
 
 func (t *eagerTracker) dec(from, to int) {
-	if t.flat != nil {
-		t.flat[from*t.n+to]--
-	} else if t.m != nil {
-		t.m[[2]int{from, to}]--
+	if t.rows == nil {
+		return
+	}
+	row := &t.rows[from]
+	for i := range row.peers {
+		if int(row.peers[i].to) == to {
+			row.peers[i].count--
+			if row.peers[i].count == 0 {
+				last := len(row.peers) - 1
+				row.peers[i] = row.peers[last]
+				row.peers = row.peers[:last]
+			}
+			return
+		}
 	}
 }
 
@@ -431,38 +571,105 @@ func (s *simulation) newSlot() *matchSlot {
 	return &matchSlot{}
 }
 
-// Run simulates the programs and returns the trace set. It validates the
-// configuration and programs, and reports a deadlock error if any rank is
-// still blocked when no events remain.
-func Run(cfg Config, programs []Program) (*Result, error) {
+// newEntryList takes a matcher entry list from the pool. Lists circulate
+// between ranks as they go active and quiet, so the steady-state count
+// follows the active band, not the machine size.
+func (s *simulation) newEntryList() []matchEntry {
+	if n := len(s.freeEntryLists); n > 0 {
+		l := s.freeEntryLists[n-1]
+		s.freeEntryLists = s.freeEntryLists[:n-1]
+		return l
+	}
+	return make([]matchEntry, 0, 4)
+}
+
+// Sim is a resumable simulation: it exposes the event loop one step at a
+// time, so long runs can be checkpointed mid-flight (Snapshot/Restore)
+// or driven under external control. Run is the one-shot convenience
+// wrapper.
+type Sim struct {
+	sm       *simulation
+	finished bool
+}
+
+// New validates the configuration and programs and builds a simulation
+// ready to execute. No virtual time has passed yet; the initial rank
+// start events are scheduled at time zero.
+func New(cfg Config, programs []Program) (*Sim, error) {
 	if err := validate(cfg, programs); err != nil {
 		return nil, err
 	}
+	s := newSimulation(cfg, programs)
+	for i := range s.ranks {
+		s.engine.ScheduleCall(0, rankExecCall, &s.ranks[i])
+	}
+	return &Sim{sm: s}, nil
+}
+
+// newSimulation builds the simulation skeleton shared by New and
+// Restore: ranks, matchers and recorders, without scheduling anything.
+func newSimulation(cfg Config, programs []Program) *simulation {
 	s := &simulation{
-		cfg:     cfg,
-		engine:  &sim.Engine{},
-		ranks:   make([]*rank, 0, cfg.Ranks),
-		match:   make([]*matcher, 0, cfg.Ranks),
-		sockets: make(map[int]*memband.Socket),
+		cfg:    cfg,
+		engine: &sim.Engine{},
+		ranks:  make([]rank, cfg.Ranks),
+		match:  make([]matcher, cfg.Ranks),
 	}
 	if cfg.EagerMaxOutstanding > 0 {
 		s.eager.init(cfg.Ranks)
 	}
-	for i := 0; i < cfg.Ranks; i++ {
-		s.match = append(s.match, &matcher{slots: make(map[matchKey]*matchSlot)})
-		segHint, stepHint := programShape(programs[i], cfg.Noise != nil)
-		r := &rank{id: i, s: s, prog: programs[i],
-			rec: trace.NewRecorderSized(i, segHint, stepHint)}
-		s.ranks = append(s.ranks, r)
+	for i := range s.ranks {
+		r := &s.ranks[i]
+		r.id = i
+		r.s = s
+		r.prog = programs[i]
+		r.rec = newRankRecorder(cfg, programs[i], i)
 	}
-	for _, r := range s.ranks {
-		s.engine.ScheduleCall(0, rankExecCall, r)
+	return s
+}
+
+// newRankRecorder builds the recorder matching the configured TraceMode
+// (nil under TraceOff).
+func newRankRecorder(cfg Config, p Program, rank int) *rankRecorder {
+	switch cfg.Trace {
+	case TraceOff:
+		return nil
+	case TraceSteps:
+		_, steps := programShape(p, false)
+		return &rankRecorder{rec: trace.NewRecorderSized(rank, 0, steps)}
+	default:
+		segHint, stepHint := programShape(p, cfg.Noise != nil)
+		return &rankRecorder{rec: trace.NewRecorderSized(rank, segHint, stepHint), segs: true}
 	}
+}
+
+// Step executes the next pending event, if any, and reports whether one
+// ran. Snapshot may be called between steps.
+func (x *Sim) Step() bool { return x.sm.engine.Step() }
+
+// Now returns the current virtual time.
+func (x *Sim) Now() sim.Time { return x.sm.engine.Now() }
+
+// Executed returns the number of events executed so far.
+func (x *Sim) Executed() uint64 { return x.sm.engine.Executed() }
+
+// Pending returns the number of events still scheduled.
+func (x *Sim) Pending() int { return x.sm.engine.Pending() }
+
+// Finish drains the remaining events and assembles the Result. It
+// reports a deadlock error if any rank is still blocked when no events
+// remain. Finish may be called at most once.
+func (x *Sim) Finish() (*Result, error) {
+	if x.finished {
+		return nil, fmt.Errorf("mpisim: Finish called twice")
+	}
+	x.finished = true
+	s := x.sm
 	end := s.engine.Run()
 
 	var stuck []string
-	for _, r := range s.ranks {
-		if r.state != stDone {
+	for i := range s.ranks {
+		if r := &s.ranks[i]; r.state != stDone {
 			stuck = append(stuck, fmt.Sprintf("rank %d (%v at pc %d)", r.id, r.state, r.pc))
 		}
 	}
@@ -471,11 +678,26 @@ func Run(cfg Config, programs []Program) (*Result, error) {
 			len(stuck), strings.Join(stuck, "; "))
 	}
 
-	traces := make([]trace.RankTrace, 0, len(s.ranks))
-	for _, r := range s.ranks {
-		traces = append(traces, r.rec.Trace())
+	var traces trace.Set
+	if s.cfg.Trace != TraceOff {
+		ts := make([]trace.RankTrace, 0, len(s.ranks))
+		for i := range s.ranks {
+			ts = append(ts, s.ranks[i].rec.rec.Trace())
+		}
+		traces = trace.NewSet(ts)
 	}
-	return &Result{Traces: trace.NewSet(traces), End: end, Events: s.engine.Executed()}, nil
+	return &Result{Traces: traces, End: end, Events: s.engine.Executed()}, nil
+}
+
+// Run simulates the programs and returns the trace set. It validates the
+// configuration and programs, and reports a deadlock error if any rank is
+// still blocked when no events remain.
+func Run(cfg Config, programs []Program) (*Result, error) {
+	x, err := New(cfg, programs)
+	if err != nil {
+		return nil, err
+	}
+	return x.Finish()
 }
 
 // programShape estimates a program's trace footprint for recorder
@@ -512,6 +734,9 @@ func validate(cfg Config, programs []Program) error {
 	}
 	if cfg.CoreBandwidth < 0 {
 		return fmt.Errorf("mpisim: negative core bandwidth %g", cfg.CoreBandwidth)
+	}
+	if cfg.Trace < TraceFull || cfg.Trace > TraceOff {
+		return fmt.Errorf("mpisim: unknown trace mode %d", int(cfg.Trace))
 	}
 	needMem := false
 	for rnk, p := range programs {
@@ -559,6 +784,10 @@ func validate(cfg Config, programs []Program) error {
 	return nil
 }
 
+// socket returns the rank group's bandwidth resource, materializing it
+// on first touch: only sockets that actually run memory-bound phases
+// exist, so socket state follows the active placement, not the machine
+// size.
 func (s *simulation) socket(id int) *memband.Socket {
 	if sk, ok := s.sockets[id]; ok {
 		return sk
@@ -566,6 +795,9 @@ func (s *simulation) socket(id int) *memband.Socket {
 	sk, err := memband.NewSocketCapped(s.engine, s.cfg.SocketBandwidth, s.cfg.CoreBandwidth)
 	if err != nil {
 		panic(err) // validated in Run
+	}
+	if s.sockets == nil {
+		s.sockets = make(map[int]*memband.Socket)
 	}
 	s.sockets[id] = sk
 	return sk
@@ -580,14 +812,14 @@ func rankExecCall(arg any) { arg.(*rank).exec() }
 
 func rankDelayDone(arg any) {
 	r := arg.(*rank)
-	r.rec.Add(trace.Delay, r.phaseStart, r.phaseEnd, r.phaseStep)
+	r.addSeg(trace.Delay, r.phaseStart, r.phaseEnd, r.phaseStep)
 	r.state = stRunning
 	r.exec()
 }
 
 func rankSendOverheadDone(arg any) {
 	r := arg.(*rank)
-	r.rec.Add(trace.Overhead, r.phaseStart, r.phaseEnd, -1)
+	r.addSeg(trace.Overhead, r.phaseStart, r.phaseEnd, -1)
 	r.exec()
 }
 
@@ -595,10 +827,11 @@ func rankComputeDone(arg any) {
 	r := arg.(*rank)
 	s := r.s
 	execEnd := s.engine.Now()
-	r.rec.Add(trace.Exec, r.phaseStart, execEnd, r.phaseStep)
+	r.addSeg(trace.Exec, r.phaseStart, execEnd, r.phaseStep)
 	var noise sim.Time
 	if s.cfg.Noise != nil {
 		noise = s.cfg.Noise(r.id, r.phaseStep)
+		r.noiseDraws++
 		if noise < 0 {
 			noise = 0
 		}
@@ -615,7 +848,7 @@ func rankComputeDone(arg any) {
 
 func rankNoiseDone(arg any) {
 	r := arg.(*rank)
-	r.rec.Add(trace.Noise, r.phaseStart, r.phaseEnd, r.phaseStep)
+	r.addSeg(trace.Noise, r.phaseStart, r.phaseEnd, r.phaseStep)
 	r.state = stRunning
 	r.exec()
 }
@@ -717,7 +950,9 @@ func (r *rank) postSend(op Isend) sim.Time {
 	oSend := s.cfg.Net.SendOverhead(r.id, op.To, op.Bytes)
 
 	if proto == netmodel.Eager {
-		s.eager.inc(r.id, op.To)
+		if s.eager.active() {
+			s.eager.inc(r.id, op.To)
+		}
 		// The send completes locally once the overhead is paid.
 		s.complete(req, now+oSend)
 		// Data arrives at the receiver one transfer later.
@@ -739,18 +974,16 @@ func (r *rank) postRecv(op Irecv) {
 	req := s.newRequest(r, false, op.From, op.Bytes, op.Tag, 0)
 	r.pending = append(r.pending, req)
 	r.outstanding++
-	m := s.match[r.id]
+	m := &s.match[r.id]
 	key := matchKey{op.From, op.Tag}
-	if sl, ok := m.slots[key]; ok {
+	if sl := m.find(key); sl != nil {
 		// Unexpected eager message already here? (Preferred over a queued
 		// rendezvous handshake for the same channel — see "Matching
 		// order" in the package comment.)
 		if !sl.unexpEager.empty() {
 			msg := sl.unexpEager.pop()
 			m.release(s, key, sl)
-			if s.eager.active() {
-				s.eager.dec(msg.from, msg.to)
-			}
+			s.eager.dec(msg.from, msg.to)
 			oRecv := s.cfg.Net.RecvOverhead(op.From, r.id, op.Bytes)
 			s.complete(req, s.engine.Now()+oRecv)
 			s.freeMsg(msg)
@@ -769,14 +1002,12 @@ func (r *rank) postRecv(op Irecv) {
 
 // deliverEager runs at an eager message's arrival time at the receiver.
 func (s *simulation) deliverEager(msg *eagerMsg) {
-	m := s.match[msg.to]
+	m := &s.match[msg.to]
 	key := matchKey{msg.from, msg.tag}
-	if sl, ok := m.slots[key]; ok && !sl.postedRecvs.empty() {
+	if sl := m.find(key); sl != nil && !sl.postedRecvs.empty() {
 		recv := sl.postedRecvs.pop()
 		m.release(s, key, sl)
-		if s.eager.active() {
-			s.eager.dec(msg.from, msg.to)
-		}
+		s.eager.dec(msg.from, msg.to)
 		oRecv := s.cfg.Net.RecvOverhead(msg.from, msg.to, msg.bytes)
 		s.complete(recv, s.engine.Now()+oRecv)
 		s.freeMsg(msg)
@@ -788,9 +1019,9 @@ func (s *simulation) deliverEager(msg *eagerMsg) {
 // matchRTS tries to match a freshly posted rendezvous send against the
 // receiver's posted receives; otherwise it queues the handshake.
 func (s *simulation) matchRTS(send *request) {
-	m := s.match[send.peer]
+	m := &s.match[send.peer]
 	key := matchKey{send.owner.id, send.tag}
-	if sl, ok := m.slots[key]; ok && !sl.postedRecvs.empty() {
+	if sl := m.find(key); sl != nil && !sl.postedRecvs.empty() {
 		recv := sl.postedRecvs.pop()
 		m.release(s, key, sl)
 		s.link(send, recv)
@@ -928,8 +1159,11 @@ func (r *rank) progressWait() {
 		// complete() at that time re-invokes us.
 		return
 	}
-	r.rec.Add(trace.Wait, r.waitEntry, now, r.waitStep)
-	r.rec.EndStep(r.waitStep, now)
+	r.addSeg(trace.Wait, r.waitEntry, now, r.waitStep)
+	if r.s.cfg.OnWait != nil && now > r.waitEntry {
+		r.s.cfg.OnWait(r.id, r.waitStep, r.waitEntry, now)
+	}
+	r.endStep(r.waitStep, now)
 	// The epoch is over: both sides of every match have completed, so
 	// the requests can go back to the pool for the next epoch.
 	s := r.s

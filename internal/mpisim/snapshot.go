@@ -1,0 +1,837 @@
+package mpisim
+
+// Snapshot/restore: checkpoint a running simulation mid-flight and
+// resume it byte-identically in a fresh process.
+//
+// The format serializes the complete live state — virtual clock, every
+// rank's program counter and epoch bookkeeping, pooled requests and
+// in-flight eager messages, matcher queues, socket bandwidth state, and
+// the pending event queue in execution order. Function values cannot be
+// serialized, so the configuration and programs are NOT part of the
+// snapshot: Restore takes them again and verifies a structural
+// fingerprint (rank count, protocol options, op-by-op program shape)
+// against the checkpoint. Anything the fingerprint cannot see — the
+// network model's cost functions, the noise function's distribution —
+// must be passed identically for the resumed run to mean anything.
+//
+// Determinism rests on three properties:
+//
+//  1. Pending events are written in (time, insertion-sequence) order and
+//     re-scheduled in that order on restore; the fresh insertion
+//     sequences then reproduce the original tie-breaking exactly.
+//  2. Socket phase sets are written and restored in their start order,
+//     preserving the memband package's deterministic traversal.
+//  3. Stateful per-rank noise streams are fast-forwarded by replaying
+//     each rank's recorded draw count (every injector in internal/noise
+//     is either pure in (rank, step) or draws per-rank samples in call
+//     order, so replay reproduces the stream position exactly).
+//
+// Integer and float fields are fixed-width little-endian; times are
+// float64 bits. Writing the same state twice produces identical bytes.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+
+	"repro/internal/memband"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var snapMagic = [8]byte{'I', 'W', 'S', 'N', 'A', 'P', '0', '1'}
+
+// evKind identifies a pending event's typed callback in the snapshot.
+type evKind uint8
+
+const (
+	evRankExec evKind = iota
+	evRankDelayDone
+	evRankSendOverheadDone
+	evRankComputeDone
+	evRankNoiseDone
+	evProgressCheck
+	evDeliverEager
+	evSocketComplete
+	evKindCount
+)
+
+// phase completion-callback kinds inside a socket's active set.
+const (
+	phaseNop uint8 = iota // fire-and-forget bandwidth charge (chargeComm)
+	phaseMemDone
+)
+
+// fnPtr gives a comparable identity for a package-level func(any); Go
+// function values themselves are not comparable. Cold path only.
+func fnPtr(fn func(any)) uintptr { return reflect.ValueOf(fn).Pointer() }
+
+var (
+	ptrRankExec         = fnPtr(rankExecCall)
+	ptrRankDelayDone    = fnPtr(rankDelayDone)
+	ptrRankSendOverhead = fnPtr(rankSendOverheadDone)
+	ptrRankComputeDone  = fnPtr(rankComputeDone)
+	ptrRankNoiseDone    = fnPtr(rankNoiseDone)
+	ptrProgressCheck    = fnPtr(progressCheck)
+	ptrDeliverEager     = fnPtr(deliverEagerCall)
+	ptrSocketComplete   = fnPtr(memband.CompletionCallback())
+	ptrNopPhase         = fnPtr(nopPhase)
+	ptrMemPhaseDone     = fnPtr(memPhaseDone)
+)
+
+func eventKindOf(fn func(any)) (evKind, bool) {
+	switch fnPtr(fn) {
+	case ptrRankExec:
+		return evRankExec, true
+	case ptrRankDelayDone:
+		return evRankDelayDone, true
+	case ptrRankSendOverhead:
+		return evRankSendOverheadDone, true
+	case ptrRankComputeDone:
+		return evRankComputeDone, true
+	case ptrRankNoiseDone:
+		return evRankNoiseDone, true
+	case ptrProgressCheck:
+		return evProgressCheck, true
+	case ptrDeliverEager:
+		return evDeliverEager, true
+	case ptrSocketComplete:
+		return evSocketComplete, true
+	}
+	return 0, false
+}
+
+// fingerprint hashes the structural identity of a configuration and its
+// programs (FNV-1a 64), so Restore can reject a mismatched pairing.
+type fingerprint uint64
+
+func newFingerprint() fingerprint { return 0xcbf29ce484222325 }
+
+func (f fingerprint) u64(v uint64) fingerprint {
+	h := uint64(f)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 0x100000001b3
+		v >>= 8
+	}
+	return fingerprint(h)
+}
+
+func (f fingerprint) i(v int) fingerprint       { return f.u64(uint64(int64(v))) }
+func (f fingerprint) f64(v float64) fingerprint { return f.u64(math.Float64bits(v)) }
+
+func configFingerprint(cfg Config, programs []Program) fingerprint {
+	f := newFingerprint()
+	f = f.i(cfg.Ranks).i(int(cfg.Progress)).i(int(cfg.Trace)).i(cfg.EagerMaxOutstanding)
+	if cfg.ChargeCommBandwidth {
+		f = f.i(1)
+	} else {
+		f = f.i(0)
+	}
+	for _, p := range programs {
+		f = f.i(len(p))
+		for _, op := range p {
+			switch op := op.(type) {
+			case Compute:
+				f = f.i(1).f64(float64(op.Duration)).f64(op.MemBytes).i(op.Step)
+			case Delay:
+				f = f.i(2).f64(float64(op.Duration)).i(op.Step)
+			case Isend:
+				f = f.i(3).i(op.To).i(op.Bytes).i(op.Tag)
+			case Irecv:
+				f = f.i(4).i(op.From).i(op.Bytes).i(op.Tag)
+			case Waitall:
+				f = f.i(5).i(op.Step)
+			}
+		}
+	}
+	return f
+}
+
+// snapWriter writes fixed-width little-endian fields with a sticky error.
+type snapWriter struct {
+	w   *bufio.Writer
+	buf [8]byte
+	err error
+}
+
+func (w *snapWriter) bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+func (w *snapWriter) u8(v uint8) { w.bytes([]byte{v}) }
+
+func (w *snapWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.bytes(w.buf[:4])
+}
+
+func (w *snapWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.bytes(w.buf[:8])
+}
+
+func (w *snapWriter) i32(v int) {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		if w.err == nil {
+			w.err = fmt.Errorf("mpisim: snapshot field %d overflows int32", v)
+		}
+		return
+	}
+	w.u32(uint32(int32(v)))
+}
+
+func (w *snapWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *snapWriter) time(t sim.Time) { w.f64(float64(t)) }
+
+// snapReader reads fixed-width little-endian fields with a sticky error.
+type snapReader struct {
+	r   *bufio.Reader
+	buf [8]byte
+	err error
+}
+
+func (r *snapReader) bytes(n int) []byte {
+	if r.err != nil {
+		return r.buf[:n]
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:n]); err != nil {
+		r.err = fmt.Errorf("mpisim: truncated snapshot: %w", err)
+	}
+	return r.buf[:n]
+}
+
+func (r *snapReader) u8() uint8 { return r.bytes(1)[0] }
+
+func (r *snapReader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+
+func (r *snapReader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+
+func (r *snapReader) i32() int { return int(int32(r.u32())) }
+
+func (r *snapReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *snapReader) time() sim.Time { return sim.Time(r.f64()) }
+
+// count reads a non-negative element count with a sanity bound, so a
+// corrupt snapshot cannot coerce a huge allocation.
+func (r *snapReader) count(what string, max int) int {
+	n := r.i32()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > max {
+		r.err = fmt.Errorf("mpisim: snapshot %s count %d out of range [0,%d]", what, n, max)
+		return 0
+	}
+	return n
+}
+
+const (
+	maxSnapList = 1 << 28 // sanity bound for any serialized list
+)
+
+// snapEvent is one pending engine event captured for serialization.
+type snapEvent struct {
+	at  sim.Time
+	fn  func(any)
+	arg any
+}
+
+// Snapshot serializes the simulation's complete live state. It must be
+// called between events (never from inside a callback) and does not
+// perturb the run: a simulation that is snapshotted and then continued
+// behaves exactly as if the snapshot had not been taken.
+func (x *Sim) Snapshot(w io.Writer) error {
+	if x.finished {
+		return fmt.Errorf("mpisim: Snapshot after Finish")
+	}
+	s := x.sm
+
+	// Capture the pending event queue in execution order first: eager
+	// message identity is assigned by first appearance (delivery events,
+	// then matcher queues), and sockets referenced by pending completion
+	// events must exist in the socket section.
+	var events []snapEvent
+	err := s.engine.SnapshotEvents(func(at sim.Time, fn func(any), arg any) error {
+		events = append(events, snapEvent{at, fn, arg})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Assign eager-message ids: in-flight deliveries in event order, then
+	// arrived-unmatched messages in matcher order.
+	msgID := make(map[*eagerMsg]int)
+	var msgs []*eagerMsg
+	addMsg := func(m *eagerMsg) {
+		if _, ok := msgID[m]; !ok {
+			msgID[m] = len(msgs)
+			msgs = append(msgs, m)
+		}
+	}
+	for _, ev := range events {
+		if kind, ok := eventKindOf(ev.fn); ok && kind == evDeliverEager {
+			addMsg(ev.arg.(*eagerMsg))
+		}
+	}
+	for i := range s.match {
+		for _, e := range s.match[i].entries {
+			for _, m := range e.slot.unexpEager.live() {
+				addMsg(m)
+			}
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	sw := &snapWriter{w: bw}
+	sw.bytes(snapMagic[:])
+	sw.u64(uint64(configFingerprint(s.cfg, perRankPrograms(s))))
+
+	// Engine clock.
+	sw.time(s.engine.Now())
+	sw.u64(s.engine.Executed())
+
+	// Per-rank state and pending requests.
+	for i := range s.ranks {
+		r := &s.ranks[i]
+		sw.i32(r.pc)
+		sw.u8(uint8(r.state))
+		sw.i32(r.outstanding)
+		sw.time(r.watermark)
+		sw.i32(r.waitStep)
+		sw.time(r.waitEntry)
+		sw.i32(r.gateRemaining)
+		sw.time(r.phaseStart)
+		sw.time(r.phaseEnd)
+		sw.i32(r.phaseStep)
+		sw.time(r.memFloor)
+		sw.u64(r.noiseDraws)
+
+		sw.i32(len(r.pending))
+		for _, req := range r.pending {
+			var flags uint8
+			if req.isSend {
+				flags |= 1
+			}
+			if req.done {
+				flags |= 2
+			}
+			if req.transferStarted {
+				flags |= 4
+			}
+			sw.u8(flags)
+			sw.u8(uint8(req.proto))
+			sw.i32(req.peer)
+			sw.i32(req.bytes)
+			sw.i32(req.tag)
+			sw.time(req.doneAt)
+			// A match link is only ever read before the transfer starts;
+			// startTransfer completes both sides and nothing touches the
+			// link afterwards. A done request's link is therefore dead
+			// state — and must not even be dereferenced, since the peer's
+			// epoch may have recycled the object into a new request. A
+			// matched request that is not done is an unstarted pair, and
+			// an unstarted pair holds both requests alive and pending.
+			if req.match == nil || req.done {
+				sw.i32(-1)
+				sw.i32(-1)
+			} else {
+				sw.i32(req.match.owner.id)
+				sw.i32(pendingIndex(req.match))
+			}
+		}
+
+		if s.cfg.Trace != TraceOff {
+			t := r.rec.rec.Trace()
+			sw.i32(len(t.Segments))
+			for _, seg := range t.Segments {
+				sw.u8(uint8(seg.Kind))
+				sw.time(seg.Start)
+				sw.time(seg.End)
+				sw.i32(seg.Step)
+			}
+			sw.i32(len(t.StepEnd))
+			for _, e := range t.StepEnd {
+				sw.time(e)
+			}
+		}
+	}
+
+	// Eager-buffer tracker (finite eager buffers only).
+	if s.eager.active() {
+		nonEmpty := 0
+		for i := range s.eager.rows {
+			if len(s.eager.rows[i].peers) > 0 {
+				nonEmpty++
+			}
+		}
+		sw.i32(nonEmpty)
+		for i := range s.eager.rows {
+			peers := s.eager.rows[i].peers
+			if len(peers) == 0 {
+				continue
+			}
+			sw.i32(i)
+			sw.i32(len(peers))
+			for _, p := range peers {
+				sw.i32(int(p.to))
+				sw.i32(int(p.count))
+			}
+		}
+	}
+
+	// Eager messages.
+	sw.i32(len(msgs))
+	for _, m := range msgs {
+		sw.i32(m.from)
+		sw.i32(m.to)
+		sw.i32(m.tag)
+		sw.i32(m.bytes)
+		sw.time(m.arriveAt)
+	}
+
+	// Matchers: per rank, live channels and their three queues.
+	for i := range s.match {
+		entries := s.match[i].entries
+		sw.i32(len(entries))
+		for _, e := range entries {
+			sw.i32(e.key.peer)
+			sw.i32(e.key.tag)
+			recvs := e.slot.postedRecvs.live()
+			sw.i32(len(recvs))
+			for _, req := range recvs {
+				sw.i32(req.owner.id)
+				sw.i32(pendingIndex(req))
+			}
+			eager := e.slot.unexpEager.live()
+			sw.i32(len(eager))
+			for _, m := range eager {
+				sw.i32(msgID[m])
+			}
+			rts := e.slot.unexpRTS.live()
+			sw.i32(len(rts))
+			for _, req := range rts {
+				sw.i32(req.owner.id)
+				sw.i32(pendingIndex(req))
+			}
+		}
+	}
+
+	// Sockets, sorted by id; phases in start order.
+	ids := make([]int, 0, len(s.sockets))
+	for id := range s.sockets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	sw.i32(len(ids))
+	for _, id := range ids {
+		sk := s.sockets[id]
+		sw.i32(id)
+		sw.time(sk.LastIntegrated())
+		nPhases := 0
+		perr := sk.SnapshotPhases(func(remaining float64, fn func(any), arg any) error {
+			nPhases++
+			return nil
+		})
+		if perr != nil {
+			return perr
+		}
+		sw.i32(nPhases)
+		perr = sk.SnapshotPhases(func(remaining float64, fn func(any), arg any) error {
+			sw.f64(remaining)
+			switch fnPtr(fn) {
+			case ptrNopPhase:
+				sw.u8(phaseNop)
+				sw.i32(-1)
+			case ptrMemPhaseDone:
+				sw.u8(phaseMemDone)
+				sw.i32(arg.(*rank).id)
+			default:
+				return fmt.Errorf("mpisim: unknown phase callback in socket %d", id)
+			}
+			return nil
+		})
+		if perr != nil {
+			return perr
+		}
+	}
+
+	// Socket identity for pending completion events.
+	sockOf := make(map[any]int, len(ids))
+	for _, id := range ids {
+		sockOf[s.sockets[id]] = id
+	}
+
+	// Pending events in execution order.
+	sw.i32(len(events))
+	for _, ev := range events {
+		kind, ok := eventKindOf(ev.fn)
+		if !ok {
+			return fmt.Errorf("mpisim: unknown event callback at t=%v", ev.at)
+		}
+		sw.u8(uint8(kind))
+		sw.time(ev.at)
+		switch kind {
+		case evDeliverEager:
+			sw.i32(msgID[ev.arg.(*eagerMsg)])
+		case evSocketComplete:
+			id, ok := sockOf[ev.arg]
+			if !ok {
+				return fmt.Errorf("mpisim: completion event for unknown socket")
+			}
+			sw.i32(id)
+		default:
+			r, ok := ev.arg.(*rank)
+			if !ok {
+				return fmt.Errorf("mpisim: %d event with non-rank argument", kind)
+			}
+			sw.i32(r.id)
+		}
+	}
+
+	if sw.err != nil {
+		return sw.err
+	}
+	return bw.Flush()
+}
+
+// pendingIndex locates a request within its owner's pending list. Every
+// request referenced from a matcher queue or a live match link is
+// pending: requests are only recycled when their owner's Waitall epoch
+// ends, an unmatched receive or handshake cannot outlive its epoch, and
+// a matched-but-unstarted pair holds both epochs open.
+func pendingIndex(req *request) int {
+	for i, p := range req.owner.pending {
+		if p == req {
+			return i
+		}
+	}
+	return -1
+}
+
+// perRankPrograms recovers the program list from the built ranks (the
+// simulation does not retain the original slice header).
+func perRankPrograms(s *simulation) []Program {
+	progs := make([]Program, len(s.ranks))
+	for i := range s.ranks {
+		progs[i] = s.ranks[i].prog
+	}
+	return progs
+}
+
+// Restore rebuilds a checkpointed simulation in a fresh engine. The
+// configuration and programs must be the ones the snapshot was taken
+// with (a structural fingerprint is verified; cost-model and noise
+// functions must match by contract). The restored simulation resumes
+// byte-identically: same event order, same traces, same final report.
+func Restore(cfg Config, programs []Program, rd io.Reader) (*Sim, error) {
+	if err := validate(cfg, programs); err != nil {
+		return nil, err
+	}
+	sr := &snapReader{r: bufio.NewReader(rd)}
+	var magic [8]byte
+	copy(magic[:], sr.bytes(8))
+	if sr.err == nil && magic != snapMagic {
+		return nil, fmt.Errorf("mpisim: not a snapshot (bad magic %q)", magic[:])
+	}
+	if got, want := fingerprint(sr.u64()), configFingerprint(cfg, programs); sr.err == nil && got != want {
+		return nil, fmt.Errorf("mpisim: snapshot fingerprint %016x does not match configuration %016x", uint64(got), uint64(want))
+	}
+
+	s := newSimulation(cfg, programs)
+	now := sr.time()
+	executed := sr.u64()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if err := s.engine.RestoreClock(now, executed); err != nil {
+		return nil, err
+	}
+
+	// Per-rank state; match links resolve in a second pass once every
+	// pending list exists.
+	type matchRef struct{ rank, idx int }
+	links := make([][]matchRef, cfg.Ranks)
+	for i := range s.ranks {
+		r := &s.ranks[i]
+		r.pc = sr.count("pc", len(r.prog))
+		st := rankState(sr.u8())
+		if sr.err == nil && (st < stRunning || st > stDone) {
+			return nil, fmt.Errorf("mpisim: rank %d invalid state %d", i, st)
+		}
+		r.state = st
+		r.outstanding = sr.i32()
+		r.watermark = sr.time()
+		r.waitStep = sr.i32()
+		r.waitEntry = sr.time()
+		r.gateRemaining = sr.i32()
+		r.phaseStart = sr.time()
+		r.phaseEnd = sr.time()
+		r.phaseStep = sr.i32()
+		r.memFloor = sr.time()
+		r.noiseDraws = sr.u64()
+
+		nPending := sr.count("pending", maxSnapList)
+		r.pending = make([]*request, 0, nPending)
+		links[i] = make([]matchRef, nPending)
+		for j := 0; j < nPending; j++ {
+			flags := sr.u8()
+			req := &request{
+				owner:           r,
+				isSend:          flags&1 != 0,
+				done:            flags&2 != 0,
+				transferStarted: flags&4 != 0,
+			}
+			req.proto = netProtocol(sr.u8())
+			req.peer = sr.i32()
+			req.bytes = sr.i32()
+			req.tag = sr.i32()
+			req.doneAt = sr.time()
+			links[i][j] = matchRef{rank: sr.i32(), idx: sr.i32()}
+			if sr.err == nil && (req.peer < 0 || req.peer >= cfg.Ranks) {
+				return nil, fmt.Errorf("mpisim: rank %d pending %d has invalid peer %d", i, j, req.peer)
+			}
+			r.pending = append(r.pending, req)
+		}
+
+		if cfg.Trace != TraceOff {
+			var t trace.RankTrace
+			t.Rank = i
+			nSegs := sr.count("segments", maxSnapList)
+			t.Segments = make([]trace.Segment, nSegs)
+			for k := range t.Segments {
+				t.Segments[k] = trace.Segment{
+					Kind:  trace.Kind(sr.u8()),
+					Start: sr.time(),
+					End:   sr.time(),
+					Step:  sr.i32(),
+				}
+			}
+			nSteps := sr.count("steps", maxSnapList)
+			t.StepEnd = make([]sim.Time, nSteps)
+			for k := range t.StepEnd {
+				t.StepEnd[k] = sr.time()
+			}
+			r.rec.rec = trace.NewRecorderFrom(t)
+		}
+		if sr.err != nil {
+			return nil, sr.err
+		}
+	}
+
+	// Second pass: reconnect rendezvous match links.
+	for i := range s.ranks {
+		for j, ref := range links[i] {
+			if ref.rank < 0 {
+				continue
+			}
+			if ref.rank >= cfg.Ranks || ref.idx < 0 || ref.idx >= len(s.ranks[ref.rank].pending) {
+				return nil, fmt.Errorf("mpisim: rank %d pending %d has dangling match (%d,%d)", i, j, ref.rank, ref.idx)
+			}
+			s.ranks[i].pending[j].match = s.ranks[ref.rank].pending[ref.idx]
+		}
+	}
+	for i := range s.ranks {
+		for j, req := range s.ranks[i].pending {
+			if req.match != nil && req.match.match != req {
+				return nil, fmt.Errorf("mpisim: rank %d pending %d match link is not reciprocal", i, j)
+			}
+		}
+	}
+
+	// Eager-buffer tracker.
+	if s.eager.active() {
+		nRows := sr.count("eager rows", cfg.Ranks)
+		for k := 0; k < nRows; k++ {
+			from := sr.count("eager sender", cfg.Ranks-1)
+			nPeers := sr.count("eager peers", cfg.Ranks)
+			peers := make([]eagerPeer, nPeers)
+			for p := range peers {
+				peers[p].to = int32(sr.count("eager peer", cfg.Ranks-1))
+				peers[p].count = int32(sr.i32())
+			}
+			s.eager.rows[from].peers = peers
+		}
+	}
+
+	// Eager messages.
+	nMsgs := sr.count("eager messages", maxSnapList)
+	msgs := make([]*eagerMsg, nMsgs)
+	for k := range msgs {
+		msgs[k] = &eagerMsg{
+			s:        s,
+			from:     sr.i32(),
+			to:       sr.i32(),
+			tag:      sr.i32(),
+			bytes:    sr.i32(),
+			arriveAt: sr.time(),
+		}
+	}
+	msgAt := func(id int) (*eagerMsg, error) {
+		if id < 0 || id >= len(msgs) {
+			return nil, fmt.Errorf("mpisim: dangling eager message id %d", id)
+		}
+		return msgs[id], nil
+	}
+	reqAt := func(rank, idx int) (*request, error) {
+		if rank < 0 || rank >= cfg.Ranks || idx < 0 || idx >= len(s.ranks[rank].pending) {
+			return nil, fmt.Errorf("mpisim: dangling request reference (%d,%d)", rank, idx)
+		}
+		return s.ranks[rank].pending[idx], nil
+	}
+
+	// Matchers.
+	for i := range s.match {
+		nEntries := sr.count("matcher entries", maxSnapList)
+		for e := 0; e < nEntries; e++ {
+			key := matchKey{peer: sr.i32(), tag: sr.i32()}
+			sl := s.match[i].slot(s, key)
+			nRecvs := sr.count("posted recvs", maxSnapList)
+			for k := 0; k < nRecvs; k++ {
+				req, err := reqAt(sr.i32(), sr.i32())
+				if err != nil {
+					return nil, err
+				}
+				sl.postedRecvs.push(req)
+			}
+			nEager := sr.count("unexpected eager", maxSnapList)
+			for k := 0; k < nEager; k++ {
+				m, err := msgAt(sr.i32())
+				if err != nil {
+					return nil, err
+				}
+				sl.unexpEager.push(m)
+			}
+			nRTS := sr.count("unexpected RTS", maxSnapList)
+			for k := 0; k < nRTS; k++ {
+				req, err := reqAt(sr.i32(), sr.i32())
+				if err != nil {
+					return nil, err
+				}
+				sl.unexpRTS.push(req)
+			}
+		}
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+
+	// Sockets.
+	nSockets := sr.count("sockets", maxSnapList)
+	if nSockets > 0 && cfg.SocketBandwidth <= 0 {
+		return nil, fmt.Errorf("mpisim: snapshot has socket state but configuration has no SocketBandwidth")
+	}
+	for k := 0; k < nSockets; k++ {
+		id := sr.i32()
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		sk := s.socket(id)
+		sk.RestoreLastIntegrated(sr.time())
+		nPhases := sr.count("socket phases", maxSnapList)
+		for p := 0; p < nPhases; p++ {
+			remaining := sr.f64()
+			cbKind := sr.u8()
+			rid := sr.i32()
+			if sr.err != nil {
+				return nil, sr.err
+			}
+			switch cbKind {
+			case phaseNop:
+				sk.RestorePhase(remaining, nopPhase, nil)
+			case phaseMemDone:
+				if rid < 0 || rid >= cfg.Ranks {
+					return nil, fmt.Errorf("mpisim: socket %d phase references invalid rank %d", id, rid)
+				}
+				sk.RestorePhase(remaining, memPhaseDone, &s.ranks[rid])
+			default:
+				return nil, fmt.Errorf("mpisim: socket %d has unknown phase callback %d", id, cbKind)
+			}
+		}
+	}
+
+	// Pending events, re-scheduled in checkpointed execution order so the
+	// fresh insertion sequences reproduce the original tie-breaking.
+	nEvents := sr.count("events", maxSnapList)
+	for k := 0; k < nEvents; k++ {
+		kind := evKind(sr.u8())
+		at := sr.time()
+		payload := sr.i32()
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		if at < now {
+			return nil, fmt.Errorf("mpisim: event %d scheduled at %v before snapshot time %v", k, at, now)
+		}
+		switch kind {
+		case evDeliverEager:
+			m, err := msgAt(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.engine.ScheduleCall(at, deliverEagerCall, m)
+		case evSocketComplete:
+			sk, ok := s.sockets[payload]
+			if !ok {
+				return nil, fmt.Errorf("mpisim: completion event for unknown socket %d", payload)
+			}
+			sk.ScheduleRestoredCompletion(at)
+		case evRankExec, evRankDelayDone, evRankSendOverheadDone,
+			evRankComputeDone, evRankNoiseDone, evProgressCheck:
+			if payload < 0 || payload >= cfg.Ranks {
+				return nil, fmt.Errorf("mpisim: event %d references invalid rank %d", k, payload)
+			}
+			r := &s.ranks[payload]
+			var fn func(any)
+			switch kind {
+			case evRankExec:
+				fn = rankExecCall
+			case evRankDelayDone:
+				fn = rankDelayDone
+			case evRankSendOverheadDone:
+				fn = rankSendOverheadDone
+			case evRankComputeDone:
+				fn = rankComputeDone
+			case evRankNoiseDone:
+				fn = rankNoiseDone
+			case evProgressCheck:
+				fn = progressCheck
+			}
+			s.engine.ScheduleCall(at, fn, r)
+		default:
+			return nil, fmt.Errorf("mpisim: unknown event kind %d", kind)
+		}
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+
+	// Fast-forward stateful noise streams to the checkpointed position
+	// (see the package comment on NoiseFunc's snapshot contract).
+	if cfg.Noise != nil {
+		for i := range s.ranks {
+			for d := uint64(0); d < s.ranks[i].noiseDraws; d++ {
+				cfg.Noise(i, int(d))
+			}
+		}
+	}
+
+	return &Sim{sm: s}, nil
+}
+
+// netProtocol converts a serialized protocol byte back to the network
+// model's protocol type.
+func netProtocol(b uint8) netmodel.Protocol {
+	return netmodel.Protocol(b)
+}

@@ -1,0 +1,261 @@
+package mpisim
+
+// Snapshot/restore round-trip tests: checkpoint a run at random
+// mid-flight events, restore into a fresh simulation, and require the
+// finished result — end time, event count, and the full recorded trace
+// — to be byte-identical to the uninterrupted run, across the eager,
+// rendezvous, torus and memory-bound regimes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// streamNoise mimics the noise package's per-rank substreams: each
+// rank's stream derives lazily from the root seed and advances once per
+// call with the step argument ignored — the call-order contract
+// Config.Noise documents for snapshot replay. Each returned NoiseFunc
+// owns fresh state, so building the config anew (as a restoring process
+// would) replays the same per-rank streams.
+func streamNoise(seed uint64, texec sim.Time) NoiseFunc {
+	states := make(map[int]*uint64)
+	return func(rank, _ int) sim.Time {
+		st, ok := states[rank]
+		if !ok {
+			v := seed ^ (uint64(rank)+1)*0x9e3779b97f4a7c15
+			st = &v
+			states[rank] = st
+		}
+		*st ^= *st << 13
+		*st ^= *st >> 7
+		*st ^= *st << 17
+		return texec * sim.Time(*st%89) / 1000
+	}
+}
+
+// snapshotCase is one checkpoint scenario: makeCfg builds the config
+// from scratch on every call, exactly like a fresh process restoring
+// from a checkpoint file would (stateful noise streams must not carry
+// over from the interrupted run).
+type snapshotCase struct {
+	name    string
+	makeCfg func() Config
+	progs   []Program
+}
+
+func snapshotCases(t *testing.T) []snapshotCase {
+	t.Helper()
+	net, err := netmodel.NewHockney(sim.Micro(2), 3e9, 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texec := sim.Milli(3)
+	mustChain := func(n, d int, dir topology.Direction, b topology.Boundary) equivTopology {
+		c, err := topology.NewChain(n, d, dir, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	chain := mustChain(24, 1, topology.Bidirectional, topology.Open)
+	ring := mustChain(16, 1, topology.Bidirectional, topology.Periodic)
+	torus, err := topology.Torus2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memChain := mustChain(16, 1, topology.Bidirectional, topology.Open)
+	return []snapshotCase{
+		{
+			name: "chain_eager_streamnoise",
+			makeCfg: func() Config {
+				return Config{Ranks: 24, Net: net, Noise: streamNoise(42, texec)}
+			},
+			progs: equivPrograms(chain, 5, texec, 8192, 12, 1, 5*texec, 0),
+		},
+		{
+			name: "ring_rendezvous",
+			makeCfg: func() Config {
+				return Config{Ranks: 16, Net: net, Progress: IndependentRendezvous}
+			},
+			progs: equivPrograms(ring, 5, texec, 200_000, 3, 1, 5*texec, 0),
+		},
+		{
+			name: "torus_purenoise",
+			makeCfg: func() Config {
+				return Config{Ranks: 16, Net: net, Noise: equivNoise(texec)}
+			},
+			progs: equivPrograms(torus, 5, texec, 8192, 5, 1, 5*texec, 0),
+		},
+		{
+			name: "chain_membound",
+			makeCfg: func() Config {
+				return Config{
+					Ranks: 16, Net: net,
+					SocketOf:        func(rank int) int { return rank / 4 },
+					SocketBandwidth: 40e9,
+					CoreBandwidth:   8e9,
+				}
+			},
+			progs: equivPrograms(memChain, 5, texec, 8192, 8, 1, 5*texec, 5e6),
+		},
+	}
+}
+
+// TestSnapshotRestoreRoundTrip checkpoints each scenario at several
+// random mid-run events and requires the restored run to finish
+// byte-identically to the uninterrupted one.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, c := range snapshotCases(t) {
+		t.Run(c.name, func(t *testing.T) {
+			ref, err := Run(c.makeCfg(), c.progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refJSON, err := json.Marshal(ref.Traces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 3; trial++ {
+				k := 1 + r.Intn(int(ref.Events)-1)
+				t.Run(fmt.Sprintf("at_event_%d", k), func(t *testing.T) {
+					x, err := New(c.makeCfg(), c.progs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < k; i++ {
+						if !x.Step() {
+							t.Fatalf("engine drained after %d of %d events", i, k)
+						}
+					}
+					var buf bytes.Buffer
+					if err := x.Snapshot(&buf); err != nil {
+						t.Fatalf("snapshot: %v", err)
+					}
+					y, err := Restore(c.makeCfg(), c.progs, bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatalf("restore: %v", err)
+					}
+					res, err := y.Finish()
+					if err != nil {
+						t.Fatalf("resumed run: %v", err)
+					}
+					if res.End != ref.End {
+						t.Errorf("end time %v, uninterrupted run says %v", res.End, ref.End)
+					}
+					if res.Events != ref.Events {
+						t.Errorf("executed %d events, uninterrupted run says %d", res.Events, ref.Events)
+					}
+					got, err := json.Marshal(res.Traces)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, refJSON) {
+						t.Errorf("restored trace diverges from the uninterrupted run")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSnapshotDeterministic requires a snapshot to be a pure function
+// of simulation state: restoring a checkpoint and immediately snapshotting
+// again must reproduce the checkpoint byte for byte.
+func TestSnapshotDeterministic(t *testing.T) {
+	for _, c := range snapshotCases(t) {
+		t.Run(c.name, func(t *testing.T) {
+			ref, err := Run(c.makeCfg(), c.progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := New(c.makeCfg(), c.progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < int(ref.Events)/2; i++ {
+				if !x.Step() {
+					t.Fatalf("engine drained after %d events", i)
+				}
+			}
+			var first bytes.Buffer
+			if err := x.Snapshot(&first); err != nil {
+				t.Fatal(err)
+			}
+			y, err := Restore(c.makeCfg(), c.progs, bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var second bytes.Buffer
+			if err := y.Snapshot(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("snapshot -> restore -> snapshot is not byte-identical (%d vs %d bytes)",
+					first.Len(), second.Len())
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsBadInput covers the checkpoint-validation paths: a
+// config or program mismatch, a truncated stream, and a foreign format
+// must all fail cleanly.
+func TestRestoreRejectsBadInput(t *testing.T) {
+	cases := snapshotCases(t)
+	c := cases[0]
+	x, err := New(c.makeCfg(), c.progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		x.Step()
+	}
+	var buf bytes.Buffer
+	if err := x.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other := c.makeCfg()
+	other.EagerMaxOutstanding = 3
+	if _, err := Restore(other, c.progs, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore accepted a checkpoint taken under a different config")
+	}
+	shorter := c.progs[:len(c.progs)-1]
+	cfg := c.makeCfg()
+	cfg.Ranks = len(shorter)
+	if _, err := Restore(cfg, shorter, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore accepted a checkpoint for a different program set")
+	}
+	if _, err := Restore(c.makeCfg(), c.progs, bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("restore accepted a truncated checkpoint")
+	}
+	if _, err := Restore(c.makeCfg(), c.progs, bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Error("restore accepted garbage")
+	}
+}
+
+// TestSnapshotAfterFinishErrors pins the lifecycle rule: once Finish
+// has assembled the result, the simulation is gone and a checkpoint of
+// it would be meaningless.
+func TestSnapshotAfterFinishErrors(t *testing.T) {
+	c := snapshotCases(t)[0]
+	x, err := New(c.makeCfg(), c.progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.Snapshot(&buf); err == nil {
+		t.Error("snapshot after Finish succeeded")
+	}
+}

@@ -1,0 +1,45 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseTopology checks the spec parser over arbitrary input: Parse
+// must never panic, and any accepted spec must round-trip — the parsed
+// value's String() is a spec that re-parses to an equal value (String
+// renders the canonical form, so equality here is exact, not merely a
+// fixed point).
+func FuzzParseTopology(f *testing.F) {
+	for _, s := range []string{
+		"chain:64",
+		"chain:18:periodic:uni",
+		"chain:8:d=2",
+		"grid:32x32:periodic",
+		"grid:4x4",
+		"torus:8x8x8",
+		"torus:9x9:d=2",
+		"grid:16x16:periodic:uni:d=2",
+		"", "chain", "ring:8", "chain:4x4", "grid:0x4", "grid:4x4:diagonal",
+		"chain:8:d=0", "torus:4x4:d=2", "chain: 12 : periodic",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		topo, err := Parse(s)
+		if err != nil {
+			return
+		}
+		spec := topo.String()
+		back, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but its String %q does not re-parse: %v", s, spec, err)
+		}
+		if !reflect.DeepEqual(topo, back) {
+			t.Fatalf("Parse(%q) = %#v, but re-parsing its String %q = %#v", s, topo, spec, back)
+		}
+		if got := back.String(); got != spec {
+			t.Fatalf("String not canonical: %q re-parses to a value rendering %q", spec, got)
+		}
+	})
+}

@@ -273,8 +273,11 @@ func (g Grid) check(i int) {
 	}
 }
 
-// String describes the grid, e.g. "grid[16x16 d=1 bidirectional periodic]".
-// Mixed boundaries are listed per dimension.
+// String renders the grid in the Parse flag syntax, omitting options at
+// their defaults: a fully periodic grid is "torus:16x16", a fully open
+// one "grid:8x4", so any grid built by Parse re-parses to an equal
+// value. Mixed per-dimension boundaries (only constructible directly,
+// not via Parse) fall back to listing the boundaries per dimension.
 func (g Grid) String() string {
 	ext := make([]string, len(g.Extents))
 	for k, e := range g.Extents {
@@ -286,13 +289,23 @@ func (g Grid) String() string {
 			allEqual = false
 		}
 	}
-	bound := g.Bounds[0].String()
+	kind := "grid"
+	if allEqual && g.Bounds[0] == Periodic {
+		kind = "torus"
+	}
+	s := kind + ":" + strings.Join(ext, "x")
+	if g.D != 1 {
+		s += fmt.Sprintf(":d=%d", g.D)
+	}
+	if g.Dir == Unidirectional {
+		s += ":uni"
+	}
 	if !allEqual {
 		parts := make([]string, len(g.Bounds))
 		for k, b := range g.Bounds {
 			parts[k] = b.String()
 		}
-		bound = strings.Join(parts, ",")
+		s += ":" + strings.Join(parts, ",")
 	}
-	return fmt.Sprintf("grid[%s d=%d %s %s]", strings.Join(ext, "x"), g.D, g.Dir, bound)
+	return s
 }

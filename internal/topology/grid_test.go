@@ -316,7 +316,7 @@ func TestShells(t *testing.T) {
 
 func TestGridString(t *testing.T) {
 	g := mustGrid(t, []int{16, 16}, 1, Bidirectional, Periodic)
-	if got := g.String(); got != "grid[16x16 d=1 bidirectional periodic]" {
+	if got := g.String(); got != "torus:16x16" {
 		t.Errorf("String = %q", got)
 	}
 	mixed := mustGrid(t, []int{4, 8}, 1, Unidirectional, Open, Periodic)
@@ -340,13 +340,13 @@ func TestParse(t *testing.T) {
 		in   string
 		want string
 	}{
-		{"chain:64", "chain[n=64 d=1 bidirectional open]"},
-		{"chain:18:periodic:uni", "chain[n=18 d=1 unidirectional periodic]"},
-		{"grid:32x32:periodic", "grid[32x32 d=1 bidirectional periodic]"},
-		{"grid:4x4", "grid[4x4 d=1 bidirectional open]"},
-		{"torus:8x8x8", "grid[8x8x8 d=1 bidirectional periodic]"},
-		{"torus:9x9:d=2", "grid[9x9 d=2 bidirectional periodic]"},
-		{"grid:16x16:periodic:uni:d=2", "grid[16x16 d=2 unidirectional periodic]"},
+		{"chain:64", "chain:64"},
+		{"chain:18:periodic:uni", "chain:18:uni:periodic"},
+		{"grid:32x32:periodic", "torus:32x32"},
+		{"grid:4x4", "grid:4x4"},
+		{"torus:8x8x8", "torus:8x8x8"},
+		{"torus:9x9:d=2", "torus:9x9:d=2"},
+		{"grid:16x16:periodic:uni:d=2", "torus:16x16:d=2:uni"},
 	}
 	for _, tc := range cases {
 		topo, err := Parse(tc.in)

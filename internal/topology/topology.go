@@ -264,9 +264,22 @@ func (c Chain) DirectedHopDistance(from, to int) int {
 	return d
 }
 
-// String describes the chain.
+// String renders the chain in the Parse flag syntax ("chain:18",
+// "chain:64:d=2:uni:periodic"), omitting options at their defaults, so
+// any chain built by Parse re-parses to an equal value and workload
+// labels built from topology strings stay machine-readable.
 func (c Chain) String() string {
-	return fmt.Sprintf("chain[n=%d d=%d %s %s]", c.N, c.D, c.Dir, c.Bound)
+	s := fmt.Sprintf("chain:%d", c.N)
+	if c.D != 1 {
+		s += fmt.Sprintf(":d=%d", c.D)
+	}
+	if c.Dir == Unidirectional {
+		s += ":uni"
+	}
+	if c.Bound == Periodic {
+		s += ":periodic"
+	}
+	return s
 }
 
 // Placement maps ranks onto the machine hierarchy: cores within sockets

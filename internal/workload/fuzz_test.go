@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParseWorkload checks the workload spec parser over arbitrary
+// input: Parse must never panic, and the String() of any accepted
+// workload must itself be a spec that re-parses. Workload String()
+// renders the decomposition but not every numeric option (steps=,
+// texec=, ...), so the round-trip property is a fixed point: one
+// formatting pass canonicalizes, after which spec -> value -> spec is
+// stable and the re-parsed values render identically.
+func FuzzParseWorkload(f *testing.F) {
+	for _, s := range []string{
+		"triad:18",
+		"triad:3x6:ws=1.2e9:msg=2000000",
+		"lbm:100:cells=302:steps=50",
+		"lbm:4x4",
+		"divide:16:phase=3ms",
+		"bulk:64:texec=3ms:bytes=8192",
+		"bulk:32x32:periodic",
+		"bulk:18:d=2:uni:periodic",
+		"bulk:4x4x4:steps=7",
+		"", "triad", "triad:2", "lbm:0", "walk:8", "bulk:8:texec=-1ms",
+		"divide:9:phase=never", "triad:18:cells=10",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		wl, err := Parse(s)
+		if err != nil {
+			return
+		}
+		spec := fmt.Sprint(wl)
+		back, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but its String %q does not re-parse: %v", s, spec, err)
+		}
+		if got := fmt.Sprint(back); got != spec {
+			t.Fatalf("String not a fixed point: Parse(%q).String() = %q, re-parsed renders %q", s, spec, got)
+		}
+	})
+}

@@ -175,12 +175,22 @@ func (b BulkSync) WithInjections(inj ...noise.Injection) Workload {
 	return b
 }
 
-// String renders the workload in the flag syntax family ("bulk:<topo>").
+// String renders the workload in the Parse flag syntax
+// ("bulk:18:periodic", "bulk:4x4:d=2"): the topology's own spec with
+// its kind prefix folded into the bulk shape segment, so the label
+// re-parses. A torus prefix becomes an explicit periodic option, since
+// the bulk shape grammar only distinguishes chain from grid by shape.
 func (b BulkSync) String() string {
 	if b.Topo == nil {
 		return "bulk"
 	}
-	return "bulk:" + b.Topo.String()
+	spec := b.Topo.String()
+	kind, rest, _ := strings.Cut(spec, ":")
+	s := "bulk:" + rest
+	if kind == "torus" {
+		s += ":periodic"
+	}
+	return s
 }
 
 // Programs builds one program per rank.
