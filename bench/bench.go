@@ -1,7 +1,8 @@
-// Package bench defines the repository's fixed performance suite: five
+// Package bench defines the repository's fixed performance suite:
 // benchmarks spanning the layers every experiment funnels through — the
 // raw discrete-event engine, a 1-D chain idle wave, a 2-D torus halo
-// exchange, the memory-bound LBM proxy, and a many-seed noise sweep.
+// exchange, the memory-bound LBM proxy, a many-seed noise sweep, and
+// parallel-DES shard-scaling variants of the two largest cases.
 //
 // The suite is consumed two ways: bench_test.go wraps every case as an
 // ordinary `go test -bench` benchmark, and cmd/bench runs the same cases
@@ -11,6 +12,8 @@
 package bench
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/mpisim"
@@ -36,12 +39,21 @@ type Case struct {
 	// the active state, not the rank count" into a regression test.
 	MemRefCase    string
 	MaxBytesRatio float64
-	F             func(b *testing.B)
+	// NumShards is the parallel-DES shard count the case runs with
+	// (0 = serial engine). cmd/bench records it per entry and its -gate
+	// only compares entries with equal shard counts, so scaling numbers
+	// from multicore runners never gate against serial baselines.
+	NumShards int
+	F         func(b *testing.B)
 }
 
-// Suite returns the fixed benchmark suite in its canonical order.
+// Suite returns the fixed benchmark suite in its canonical order. The
+// shard-scaling variants rerun the two largest cases through the
+// conservative parallel engine at fixed shard counts plus one entry at
+// the runner's full core count; their results are byte-identical to the
+// serial cases, so they measure pure engine overhead and speedup.
 func Suite() []Case {
-	return []Case{
+	cases := []Case{
 		{Name: "EngineSchedule", Detail: "engine microbenchmark: schedule+run 1024 pending events", F: EngineSchedule},
 		{Name: "ChainWave1D", Detail: "64-rank open chain, 30 steps, eager protocol, center delay", F: ChainWave1D},
 		{Name: "Torus2D", Detail: "16x16 periodic torus halo exchange, 20 steps, center delay", F: Torus2D},
@@ -56,6 +68,29 @@ func Suite() []Case {
 			F:             ChainWave100k,
 		},
 	}
+	shardCounts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, s := range shardCounts {
+		s := s
+		cases = append(cases, Case{
+			Name:      fmt.Sprintf("ChainWave100kShard%d", s),
+			Detail:    fmt.Sprintf("the ChainWave100k scenario sharded across %d parallel-DES engines", s),
+			NumShards: s,
+			F:         func(b *testing.B) { chainWave100kAt(b, s) },
+		})
+	}
+	for _, s := range shardCounts {
+		s := s
+		cases = append(cases, Case{
+			Name:      fmt.Sprintf("Torus2DShard%d", s),
+			Detail:    fmt.Sprintf("the Torus2D scenario sharded across %d parallel-DES engines", s),
+			NumShards: s,
+			F:         func(b *testing.B) { torus2DAt(b, s) },
+		})
+	}
+	return cases
 }
 
 // nopEvent is the no-payload handler for the engine microbenchmark; a
@@ -146,7 +181,11 @@ func ChainWave1D(b *testing.B) {
 
 // Torus2D is the multi-dimensional halo-exchange regime: a 16x16
 // periodic torus with four neighbors per rank.
-func Torus2D(b *testing.B) {
+func Torus2D(b *testing.B) { torus2DAt(b, 0) }
+
+// torus2DAt runs the Torus2D scenario with the given parallel-DES shard
+// count (0 = serial engine); results are byte-identical at any count.
+func torus2DAt(b *testing.B, shards int) {
 	const steps = 20
 	torus, err := topology.Torus2D(16, 16)
 	if err != nil {
@@ -161,7 +200,7 @@ func Torus2D(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mpiCase{cfg: mpisim.Config{Ranks: ranks, Net: hockney(b)}, progs: progs}.run(b)
+	mpiCase{cfg: mpisim.Config{Ranks: ranks, Net: hockney(b), Shards: shards}, progs: progs}.run(b)
 }
 
 // LBMMemBound exercises the memory-bound path: the D3Q19 LBM proxy with
@@ -209,7 +248,12 @@ func ChainWave1k(b *testing.B) {
 // state (ranks and in-flight messages), not the rank x step trace — the
 // suite declares a bytes/op bound of 20x the 1000-rank dense case and
 // cmd/bench -gate enforces it.
-func ChainWave100k(b *testing.B) {
+func ChainWave100k(b *testing.B) { chainWave100kAt(b, 0) }
+
+// chainWave100kAt runs the ChainWave100k scenario with the given
+// parallel-DES shard count (0 = serial engine); the tracked front and
+// event count are byte-identical at any count.
+func chainWave100kAt(b *testing.B, shards int) {
 	const ranks, steps = 100_000, 12
 	chain, err := topology.NewChain(ranks, 1, topology.Bidirectional, topology.Open)
 	if err != nil {
@@ -233,6 +277,7 @@ func ChainWave100k(b *testing.B) {
 			Ranks: ranks, Net: net,
 			Trace:  mpisim.TraceOff,
 			OnWait: tracker.Observe,
+			Shards: shards,
 		}
 		res, err := mpisim.Run(cfg, progs)
 		if err != nil {

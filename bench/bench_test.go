@@ -1,9 +1,15 @@
 // Standard `go test -bench` wrappers around the fixed suite, so the
 // cases run under the normal benchmark driver (CI smoke uses
-// -benchtime=1x) as well as through cmd/bench.
+// -benchtime=1x) as well as through cmd/bench. The shard-scaling
+// variants come out of Suite() itself (their count depends on the
+// runner's cores), so BenchmarkSuiteShards drives them as sub-benchmarks
+// instead of one wrapper per case.
 package bench
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func BenchmarkEngineSchedule(b *testing.B) { EngineSchedule(b) }
 func BenchmarkChainWave1D(b *testing.B)    { ChainWave1D(b) }
@@ -13,21 +19,47 @@ func BenchmarkNoiseSweep(b *testing.B)     { NoiseSweep(b) }
 func BenchmarkChainWave1k(b *testing.B)    { ChainWave1k(b) }
 func BenchmarkChainWave100k(b *testing.B)  { ChainWave100k(b) }
 
+// BenchmarkSuiteShards runs every shard-scaling suite case as a
+// sub-benchmark named after the case.
+func BenchmarkSuiteShards(b *testing.B) {
+	for _, c := range Suite() {
+		if c.NumShards == 0 {
+			continue
+		}
+		b.Run(c.Name, c.F)
+	}
+}
+
 // TestSuiteNamesMatchWrappers pins the suite order and names, so the
-// JSON trajectory and the -bench output stay in sync.
+// JSON trajectory and the -bench output stay in sync. The serial prefix
+// is fixed; the shard-scaling tail is derived from the runner's core
+// count, so it is checked structurally.
 func TestSuiteNamesMatchWrappers(t *testing.T) {
 	want := []string{"EngineSchedule", "ChainWave1D", "Torus2D", "LBMMemBound", "NoiseSweep",
 		"ChainWave1k", "ChainWave100k"}
 	suite := Suite()
-	if len(suite) != len(want) {
-		t.Fatalf("suite has %d cases, want %d", len(suite), len(want))
+	if len(suite) < len(want) {
+		t.Fatalf("suite has %d cases, want at least %d", len(suite), len(want))
 	}
-	for i, c := range suite {
-		if c.Name != want[i] {
-			t.Errorf("case %d named %q, want %q", i, c.Name, want[i])
+	for i, name := range want {
+		if suite[i].Name != name {
+			t.Errorf("case %d named %q, want %q", i, suite[i].Name, name)
 		}
+		if suite[i].NumShards != 0 {
+			t.Errorf("serial case %q declares NumShards %d", suite[i].Name, suite[i].NumShards)
+		}
+	}
+	for _, c := range suite {
 		if c.F == nil {
 			t.Errorf("case %q has nil function", c.Name)
+		}
+	}
+	for _, c := range suite[len(want):] {
+		if c.NumShards <= 0 {
+			t.Errorf("scaling case %q declares NumShards %d, want > 0", c.Name, c.NumShards)
+		}
+		if !strings.Contains(c.Name, "Shard") {
+			t.Errorf("scaling case %q does not carry its shard count in its name", c.Name)
 		}
 	}
 }

@@ -19,9 +19,16 @@
 // bytes/op exceeds the baseline by more than the given ratio, or when a
 // case breaks the cross-case memory-scaling bound its suite entry
 // declares (Case.MemRefCase/MaxBytesRatio) — the report is still written
-// first, so CI artifacts carry the regressing numbers. With -max-rss,
-// the process's peak resident set (Linux VmHWM; monotonic across the
-// run) must stay under the given byte count.
+// first, so CI artifacts carry the regressing numbers. Only entries with
+// equal num_shards are ever compared, and cases excluded by -run are
+// exempt from the missing-baseline-case check. With -max-rss, the
+// process's peak resident set (Linux VmHWM; monotonic across the run)
+// must stay under the given byte count.
+//
+// Each entry records the parallel-DES shard count it ran with
+// (num_shards; 0 = serial) and the report header records the effective
+// GOMAXPROCS, so shard-scaling numbers carry the context needed to
+// interpret them.
 package main
 
 import (
@@ -40,9 +47,14 @@ import (
 
 // caseResult is one benchmark's measured numbers.
 type caseResult struct {
-	Name         string  `json:"name"`
-	Detail       string  `json:"detail,omitempty"`
-	Iterations   int     `json:"iterations"`
+	Name       string `json:"name"`
+	Detail     string `json:"detail,omitempty"`
+	Iterations int    `json:"iterations"`
+	// NumShards is the parallel-DES shard count the case ran with
+	// (0 = serial engine). Gating only ever compares entries with equal
+	// shard counts: a scaling entry measured on a multicore runner must
+	// not gate against a serial (or differently sharded) baseline.
+	NumShards    int     `json:"num_shards,omitempty"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
 	BytesPerOp   float64 `json:"bytes_per_op"`
@@ -70,11 +82,15 @@ type comparison struct {
 
 // report is the full JSON document.
 type report struct {
-	Generated  string       `json:"generated"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	NumCPU     int          `json:"num_cpu"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the effective scheduler parallelism of the run — the
+	// context the shard-scaling entries must be read in (shards beyond
+	// GOMAXPROCS cannot speed anything up).
+	GOMAXPROCS int          `json:"gomaxprocs,omitempty"`
 	Benchmarks []caseResult `json:"benchmarks"`
 	Baseline   *report      `json:"baseline,omitempty"`
 	VsBaseline []comparison `json:"vs_baseline,omitempty"`
@@ -104,11 +120,12 @@ func main() {
 	}
 
 	rep := report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
 	for _, c := range bench.Suite() {
@@ -128,6 +145,7 @@ func main() {
 			Name:        c.Name,
 			Detail:      c.Detail,
 			Iterations:  res.N,
+			NumShards:   c.NumShards,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: float64(res.AllocsPerOp()),
 			BytesPerOp:  float64(res.AllocedBytesPerOp()),
@@ -188,8 +206,10 @@ func main() {
 	if *gate > 0 {
 		// SpeedupNs is baseline/current: below 1/gate means the case got
 		// more than gate-times slower than the baseline. A baseline case
-		// with no current counterpart also fails — a renamed or filtered
-		// suite case must not silently escape the gate.
+		// with no current counterpart also fails — a renamed or removed
+		// suite case must not silently escape the gate. A case the user
+		// deliberately excluded with -run is exempt: a subset run gates
+		// the subset, not the whole suite.
 		current := make(map[string]caseResult, len(rep.Benchmarks))
 		for _, c := range rep.Benchmarks {
 			current[c.Name] = c
@@ -197,8 +217,8 @@ func main() {
 		baseByName := make(map[string]caseResult, len(rep.Baseline.Benchmarks))
 		for _, b := range rep.Baseline.Benchmarks {
 			baseByName[b.Name] = b
-			if _, ok := current[b.Name]; !ok {
-				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: baseline case missing from this run (renamed, removed, or excluded by -run)\n", b.Name)
+			if _, ok := current[b.Name]; !ok && selected(b.Name, *filter) {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: baseline case missing from this run (renamed or removed)\n", b.Name)
 				failed = true
 			}
 		}
@@ -215,8 +235,8 @@ func main() {
 		// did not fails outright.
 		for _, c := range rep.Benchmarks {
 			b, ok := baseByName[c.Name]
-			if !ok {
-				continue // new case, no baseline to compare
+			if !ok || b.NumShards != c.NumShards {
+				continue // new case, or a different shard count: no comparable baseline
 			}
 			switch {
 			case b.BytesPerOp == 0 && c.BytesPerOp > 0:
@@ -333,6 +353,12 @@ func compare(cur, base []caseResult) []comparison {
 	for _, c := range cur {
 		b, ok := byName[c.Name]
 		if !ok || c.NsPerOp <= 0 {
+			continue
+		}
+		if b.NumShards != c.NumShards {
+			// Same name, different shard count (e.g. a runner-sized
+			// scaling entry from a machine with another core count):
+			// the timings are not comparable.
 			continue
 		}
 		cmp := comparison{Name: c.Name, SpeedupNs: b.NsPerOp / c.NsPerOp}

@@ -65,6 +65,7 @@ func main() {
 		delaySt  = flag.Int("delay-step", 1, "ad-hoc scenario: delayed step")
 		delayDur = flag.Duration("delay", 15*time.Millisecond, "ad-hoc scenario: injected delay (0 = none)")
 		timeline = flag.Bool("timeline", false, "ad-hoc scenario: render the rank-over-time timeline")
+		shards   = flag.Int("shards", 0, "ad-hoc scenario: parallel-DES shard count (0 = serial; results are byte-identical at any count)")
 	)
 	flag.Parse()
 
@@ -114,7 +115,7 @@ func main() {
 			machSpec: *machSpec, noiseSpec: *noiseSp,
 			steps: *steps, bytes: *bytes,
 			delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
-			noiseE: *noiseE, seed: *seed, timeline: *timeline,
+			noiseE: *noiseE, seed: *seed, timeline: *timeline, shards: *shards,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "idlewave: %v\n", err)
 			os.Exit(1)
@@ -148,13 +149,14 @@ type scenarioFlags struct {
 	noiseE                   float64
 	seed                     uint64
 	timeline                 bool
+	shards                   int
 }
 
 // runScenario simulates one ad-hoc scenario — a bulk-synchronous run on
 // the given topology, or any workload parsed from the -workload syntax —
 // and prints the tracked wave front.
 func runScenario(f scenarioFlags) error {
-	spec := idlewave.ScenarioSpec{NoiseLevel: f.noiseE, Seed: f.seed}
+	spec := idlewave.ScenarioSpec{NoiseLevel: f.noiseE, Seed: f.seed, Shards: f.shards}
 	if f.machSpec != "" {
 		m, err := idlewave.ParseMachine(f.machSpec)
 		if err != nil {

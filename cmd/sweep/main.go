@@ -76,6 +76,7 @@ func main() {
 
 		metricsF = flag.String("metrics", "speed,decay,idle,runtime", "comma-separated metrics: speed, decay, idle, quiet, runtime, events, membw, steptime")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = all cores)")
+		shards   = flag.Int("shards", 0, "parallel-DES shard count per grid point (0 = serial; results are byte-identical at any count)")
 		format   = flag.String("format", "table", "output format: table, csv, json or markdown")
 		outFile  = flag.String("o", "", "write output to a file instead of stdout")
 		bench    = flag.Bool("bench", false, "time the grid with workers=1 and the requested pool, report the speedup")
@@ -112,7 +113,7 @@ func main() {
 		eList: *eList, noiseList: *noiseList, byteList: *byteList, dList: *dList,
 		dirList: *dirList, topoList: *topoList, wlList: *wlList,
 		machList: *machList,
-		metrics:  *metricsF, workers: *workers,
+		metrics:  *metricsF, workers: *workers, shards: *shards,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
@@ -215,11 +216,12 @@ type specFlags struct {
 	topoList, wlList   string
 	machList, metrics  string
 	workers            int
+	shards             int
 }
 
 func buildSpec(f specFlags) (idlewave.SweepSpec, error) {
 	var zero idlewave.SweepSpec
-	base := idlewave.ScenarioSpec{Seed: f.seed}
+	base := idlewave.ScenarioSpec{Seed: f.seed, Shards: f.shards}
 	if f.delayAt >= 0 {
 		base.Delay = []idlewave.Injection{idlewave.Inject(f.delayAt, f.delayStep, f.delayDur)}
 	}

@@ -205,6 +205,18 @@ type ScenarioSpec struct {
 	// work only for these sources; under TraceFull the recorded trace
 	// serves every source and FrontSources is unnecessary.
 	FrontSources []int
+	// Shards requests conservative parallel execution of the simulation
+	// itself: the ranks are cut into that many contiguous partitions
+	// (chain segments, grid slabs), each driven by its own event engine
+	// on its own goroutine and synchronized through lookahead horizons.
+	// 0 (the default) runs the classic serial loop. The results are
+	// byte-identical at any shard count — scenarios whose cross-partition
+	// interactions carry no lookahead automatically fall back to the
+	// serial engine (rendezvous-sized messages across a cut, and all
+	// memory-bound runs, whose communication-DMA bandwidth charging
+	// couples sockets at send time). See docs/ARCHITECTURE.md, "Parallel
+	// DES".
+	Shards int
 }
 
 // TraceMode selects how much of a run the simulator records; see the
@@ -457,6 +469,33 @@ func (s ScenarioSpec) run(topo Topology, progs []mpisim.Program) (*mpisim.Result
 		injected = noise.Exponential(s.Seed+1, s.NoiseLevel, texec)
 	}
 	cfg.Noise = noise.Combine(natural, injected)
+	if s.Shards < 0 {
+		return nil, nil, fmt.Errorf("negative shard count %d", s.Shards)
+	}
+	cfg.Shards = s.Shards
+	if s.Shards > 0 && cfg.Noise != nil {
+		// Each shard goroutine needs its own injector instance; every
+		// injector in internal/noise derives its per-rank streams from
+		// (seed, rank) alone, so rebuilding from the same spec yields
+		// byte-identical streams. Construction succeeded above with the
+		// same inputs, so a failure here is a programming error.
+		cfg.NoiseFactory = func() mpisim.NoiseFunc {
+			nat, err := s.Machine.NaturalNoise(s.Seed, texec)
+			if err != nil {
+				panic(fmt.Sprintf("idlewave: noise rebuild failed after validation: %v", err))
+			}
+			var inj mpisim.NoiseFunc
+			if s.Noise != nil {
+				inj, err = s.Noise.Build(s.Seed+1, texec)
+				if err != nil {
+					panic(fmt.Sprintf("idlewave: noise rebuild failed after validation: %v", err))
+				}
+			} else {
+				inj = noise.Exponential(s.Seed+1, s.NoiseLevel, texec)
+			}
+			return noise.Combine(nat, inj)
+		}
+	}
 
 	trackers, err := s.frontTrackers(topo, len(progs))
 	if err != nil {

@@ -227,8 +227,30 @@ type Config struct {
 	// OnWait, if non-nil, streams every positive-length Waitall wait
 	// interval the moment it completes, in event order. It fires in
 	// every trace mode, so analytics can run incrementally (see
-	// wave.FrontTracker) without buffering the full trace.
+	// wave.FrontTracker) without buffering the full trace. In a sharded
+	// run (Shards >= 1) intervals are instead delivered at horizon
+	// boundaries in (end, start, rank, step) order; each rank's own
+	// intervals still arrive in time order, which is the only ordering
+	// the streaming analytics rely on.
 	OnWait func(rank, step int, start, end sim.Time)
+	// Shards requests conservative parallel execution: the ranks are cut
+	// into that many contiguous partitions, each running its own event
+	// engine on its own goroutine, synchronized through lookahead
+	// horizons (see shard.go). 0 runs the classic serial loop. Any
+	// positive count produces byte-identical results — scenarios whose
+	// cross-partition interactions carry no lookahead (rendezvous
+	// messages across a cut, finite eager buffers, communication
+	// bandwidth charging, non-cloneable noise) fall back to the serial
+	// engine; PlanShards reports the decision.
+	Shards int
+	// NoiseFactory, required for parallel execution of noisy scenarios,
+	// builds a fresh injector whose per-rank streams are byte-identical
+	// to Noise's. Each shard goroutine gets its own instance, so the
+	// lazily materialized per-rank stream state is never shared across
+	// goroutines. Every injector in internal/noise qualifies: streams
+	// are derived from (seed, rank) alone. Setting NoiseFactory without
+	// Noise is an error — the serial path always uses Noise.
+	NoiseFactory func() NoiseFunc
 }
 
 // Result is the outcome of a run.
@@ -453,6 +475,13 @@ type simulation struct {
 	// the finite-eager-buffer option; inactive (and free) otherwise.
 	eager eagerTracker
 
+	// Shard view: this simulation owns global ranks [rankLo, rankHi).
+	// The serial engine owns everything (rankLo 0, shard nil). Per-rank
+	// indexed state (ranks, match, eager rows) is offset by rankLo;
+	// rank ids in events, traces and messages stay global.
+	rankLo, rankHi int
+	shard          *shardLink
+
 	// free lists (see the package comment's allocation discipline)
 	freeReqs       []*request
 	freeMsgs       []*eagerMsg
@@ -505,6 +534,15 @@ func (t *eagerTracker) inc(from, to int) {
 		}
 	}
 	row.peers = append(row.peers, eagerPeer{to: int32(to), count: 1})
+}
+
+// eagerDec releases one in-flight eager slot for a matched message. The
+// tracker's rows are indexed by shard-local sender; an active tracker
+// implies all eager traffic is intra-shard (a cross-shard send with
+// finite eager buffers is a plan ineligibility), so the sender id always
+// translates.
+func (s *simulation) eagerDec(from, to int) {
+	s.eager.dec(from-s.rankLo, to)
 }
 
 func (t *eagerTracker) dec(from, to int) {
@@ -595,35 +633,63 @@ type Sim struct {
 // New validates the configuration and programs and builds a simulation
 // ready to execute. No virtual time has passed yet; the initial rank
 // start events are scheduled at time zero.
+//
+// A resumable Sim always runs the serial event loop: its step-at-a-time
+// and Snapshot surfaces expose a single engine's queue, which a sharded
+// run does not have. Configurations requesting shards are rejected; use
+// Run (which parallelizes when eligible) or set Shards to 0.
 func New(cfg Config, programs []Program) (*Sim, error) {
 	if err := validate(cfg, programs); err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 0 {
+		return nil, fmt.Errorf("mpisim: a resumable Sim cannot run sharded (Shards=%d); use Run, or set Shards to 0", cfg.Shards)
+	}
+	return newSerialSim(cfg, programs), nil
+}
+
+// newSerialSim builds a validated serial Sim with its rank start events
+// scheduled — the core of New, shared with Run's fallback path (which
+// has already validated and must not re-trip New's shard rejection).
+func newSerialSim(cfg Config, programs []Program) *Sim {
 	s := newSimulation(cfg, programs)
 	for i := range s.ranks {
 		s.engine.ScheduleCall(0, rankExecCall, &s.ranks[i])
 	}
-	return &Sim{sm: s}, nil
+	return &Sim{sm: s}
 }
 
-// newSimulation builds the simulation skeleton shared by New and
+// newSimulation builds the serial simulation skeleton shared by New and
 // Restore: ranks, matchers and recorders, without scheduling anything.
 func newSimulation(cfg Config, programs []Program) *simulation {
+	return newRangedSimulation(cfg, programs, 0, cfg.Ranks, nil)
+}
+
+// newRangedSimulation builds a simulation owning global ranks [lo, hi).
+// programs is always the full per-rank slice; the shard picks its window
+// out of it. A non-nil link marks the simulation as one shard of a
+// parallel run: cross-shard eager sends divert to the link's outbox and
+// wait intervals buffer in its wait list instead of firing OnWait.
+func newRangedSimulation(cfg Config, programs []Program, lo, hi int, link *shardLink) *simulation {
+	n := hi - lo
 	s := &simulation{
 		cfg:    cfg,
 		engine: &sim.Engine{},
-		ranks:  make([]rank, cfg.Ranks),
-		match:  make([]matcher, cfg.Ranks),
+		ranks:  make([]rank, n),
+		match:  make([]matcher, n),
+		rankLo: lo,
+		rankHi: hi,
+		shard:  link,
 	}
 	if cfg.EagerMaxOutstanding > 0 {
-		s.eager.init(cfg.Ranks)
+		s.eager.init(n)
 	}
 	for i := range s.ranks {
 		r := &s.ranks[i]
-		r.id = i
+		r.id = lo + i
 		r.s = s
-		r.prog = programs[i]
-		r.rec = newRankRecorder(cfg, programs[i], i)
+		r.prog = programs[lo+i]
+		r.rec = newRankRecorder(cfg, programs[lo+i], lo+i)
 	}
 	return s
 }
@@ -666,38 +732,55 @@ func (x *Sim) Finish() (*Result, error) {
 	x.finished = true
 	s := x.sm
 	end := s.engine.Run()
+	return assembleResult(s.cfg, []*simulation{s}, end, s.engine.Executed())
+}
 
+// assembleResult runs the deadlock check and builds the Result over the
+// drained simulation parts — the single serial simulation, or a parallel
+// run's shards in partition order (which is global rank order, so the
+// diagnostics and the trace set come out identical either way).
+func assembleResult(cfg Config, parts []*simulation, end sim.Time, events uint64) (*Result, error) {
 	var stuck []string
-	for i := range s.ranks {
-		if r := &s.ranks[i]; r.state != stDone {
-			stuck = append(stuck, fmt.Sprintf("rank %d (%v at pc %d)", r.id, r.state, r.pc))
+	nStuck := 0
+	for _, s := range parts {
+		for i := range s.ranks {
+			if r := &s.ranks[i]; r.state != stDone {
+				stuck = append(stuck, fmt.Sprintf("rank %d (%v at pc %d)", r.id, r.state, r.pc))
+				nStuck++
+			}
 		}
 	}
-	if len(stuck) > 0 {
+	if nStuck > 0 {
 		return nil, fmt.Errorf("mpisim: deadlock, %d rank(s) blocked: %s",
-			len(stuck), strings.Join(stuck, "; "))
+			nStuck, strings.Join(stuck, "; "))
 	}
 
 	var traces trace.Set
-	if s.cfg.Trace != TraceOff {
-		ts := make([]trace.RankTrace, 0, len(s.ranks))
-		for i := range s.ranks {
-			ts = append(ts, s.ranks[i].rec.rec.Trace())
+	if cfg.Trace != TraceOff {
+		ts := make([]trace.RankTrace, 0, cfg.Ranks)
+		for _, s := range parts {
+			for i := range s.ranks {
+				ts = append(ts, s.ranks[i].rec.rec.Trace())
+			}
 		}
 		traces = trace.NewSet(ts)
 	}
-	return &Result{Traces: traces, End: end, Events: s.engine.Executed()}, nil
+	return &Result{Traces: traces, End: end, Events: events}, nil
 }
 
 // Run simulates the programs and returns the trace set. It validates the
 // configuration and programs, and reports a deadlock error if any rank is
-// still blocked when no events remain.
+// still blocked when no events remain. With Config.Shards > 0 it executes
+// the eligible parallel plan (see shard.go) and falls back to the serial
+// engine otherwise; either way the result is byte-identical to Shards: 0.
 func Run(cfg Config, programs []Program) (*Result, error) {
-	x, err := New(cfg, programs)
-	if err != nil {
+	if err := validate(cfg, programs); err != nil {
 		return nil, err
 	}
-	return x.Finish()
+	if cfg.Shards > 0 {
+		return runSharded(cfg, programs)
+	}
+	return newSerialSim(cfg, programs).Finish()
 }
 
 // programShape estimates a program's trace footprint for recorder
@@ -737,6 +820,12 @@ func validate(cfg Config, programs []Program) error {
 	}
 	if cfg.Trace < TraceFull || cfg.Trace > TraceOff {
 		return fmt.Errorf("mpisim: unknown trace mode %d", int(cfg.Trace))
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("mpisim: negative shard count %d", cfg.Shards)
+	}
+	if cfg.NoiseFactory != nil && cfg.Noise == nil {
+		return fmt.Errorf("mpisim: NoiseFactory set without Noise")
 	}
 	needMem := false
 	for rnk, p := range programs {
@@ -939,7 +1028,7 @@ func (r *rank) postSend(op Isend) sim.Time {
 	now := s.engine.Now()
 	proto := s.cfg.Net.ProtocolFor(r.id, op.To, op.Bytes)
 	if proto == netmodel.Eager && s.cfg.EagerMaxOutstanding > 0 &&
-		s.eager.count(r.id, op.To) >= s.cfg.EagerMaxOutstanding {
+		s.eager.count(r.id-s.rankLo, op.To) >= s.cfg.EagerMaxOutstanding {
 		// Finite eager buffers exhausted: this message behaves like a
 		// rendezvous transfer (the paper's footnote 1).
 		proto = netmodel.Rendezvous
@@ -951,13 +1040,22 @@ func (r *rank) postSend(op Isend) sim.Time {
 
 	if proto == netmodel.Eager {
 		if s.eager.active() {
-			s.eager.inc(r.id, op.To)
+			s.eager.inc(r.id-s.rankLo, op.To)
 		}
 		// The send completes locally once the overhead is paid.
 		s.complete(req, now+oSend)
 		// Data arrives at the receiver one transfer later.
-		msg := s.newMsg(r.id, op.To, op.Tag, op.Bytes,
-			now+oSend+s.cfg.Net.Transfer(r.id, op.To, op.Bytes))
+		arriveAt := now + oSend + s.cfg.Net.Transfer(r.id, op.To, op.Bytes)
+		if s.shard != nil && (op.To < s.rankLo || op.To >= s.rankHi) {
+			// Cross-shard: hand the message to the coordinator, which
+			// stamps it into the destination shard's queue at the next
+			// horizon. Bandwidth charging across a cut is a plan
+			// ineligibility, so no chargeComm is owed here.
+			s.shard.outbox = append(s.shard.outbox,
+				outMsg{from: r.id, to: op.To, tag: op.Tag, bytes: op.Bytes, arriveAt: arriveAt})
+			return oSend
+		}
+		msg := s.newMsg(r.id, op.To, op.Tag, op.Bytes, arriveAt)
 		s.chargeComm(r.id, op.To, op.Bytes)
 		s.engine.ScheduleCall(msg.arriveAt, deliverEagerCall, msg)
 		return oSend
@@ -974,7 +1072,7 @@ func (r *rank) postRecv(op Irecv) {
 	req := s.newRequest(r, false, op.From, op.Bytes, op.Tag, 0)
 	r.pending = append(r.pending, req)
 	r.outstanding++
-	m := &s.match[r.id]
+	m := &s.match[r.id-s.rankLo]
 	key := matchKey{op.From, op.Tag}
 	if sl := m.find(key); sl != nil {
 		// Unexpected eager message already here? (Preferred over a queued
@@ -983,7 +1081,7 @@ func (r *rank) postRecv(op Irecv) {
 		if !sl.unexpEager.empty() {
 			msg := sl.unexpEager.pop()
 			m.release(s, key, sl)
-			s.eager.dec(msg.from, msg.to)
+			s.eagerDec(msg.from, msg.to)
 			oRecv := s.cfg.Net.RecvOverhead(op.From, r.id, op.Bytes)
 			s.complete(req, s.engine.Now()+oRecv)
 			s.freeMsg(msg)
@@ -1002,12 +1100,12 @@ func (r *rank) postRecv(op Irecv) {
 
 // deliverEager runs at an eager message's arrival time at the receiver.
 func (s *simulation) deliverEager(msg *eagerMsg) {
-	m := &s.match[msg.to]
+	m := &s.match[msg.to-s.rankLo]
 	key := matchKey{msg.from, msg.tag}
 	if sl := m.find(key); sl != nil && !sl.postedRecvs.empty() {
 		recv := sl.postedRecvs.pop()
 		m.release(s, key, sl)
-		s.eager.dec(msg.from, msg.to)
+		s.eagerDec(msg.from, msg.to)
 		oRecv := s.cfg.Net.RecvOverhead(msg.from, msg.to, msg.bytes)
 		s.complete(recv, s.engine.Now()+oRecv)
 		s.freeMsg(msg)
@@ -1019,7 +1117,7 @@ func (s *simulation) deliverEager(msg *eagerMsg) {
 // matchRTS tries to match a freshly posted rendezvous send against the
 // receiver's posted receives; otherwise it queues the handshake.
 func (s *simulation) matchRTS(send *request) {
-	m := &s.match[send.peer]
+	m := &s.match[send.peer-s.rankLo]
 	key := matchKey{send.owner.id, send.tag}
 	if sl := m.find(key); sl != nil && !sl.postedRecvs.empty() {
 		recv := sl.postedRecvs.pop()
@@ -1161,7 +1259,13 @@ func (r *rank) progressWait() {
 	}
 	r.addSeg(trace.Wait, r.waitEntry, now, r.waitStep)
 	if r.s.cfg.OnWait != nil && now > r.waitEntry {
-		r.s.cfg.OnWait(r.id, r.waitStep, r.waitEntry, now)
+		if sh := r.s.shard; sh != nil {
+			// Shard goroutines must not call user code concurrently;
+			// the coordinator merges and fires these between windows.
+			sh.waits = append(sh.waits, waitRec{rank: r.id, step: r.waitStep, start: r.waitEntry, end: now})
+		} else {
+			r.s.cfg.OnWait(r.id, r.waitStep, r.waitEntry, now)
+		}
 	}
 	r.endStep(r.waitStep, now)
 	// The epoch is over: both sides of every match have completed, so

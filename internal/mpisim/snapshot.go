@@ -256,6 +256,12 @@ func (x *Sim) Snapshot(w io.Writer) error {
 		return fmt.Errorf("mpisim: Snapshot after Finish")
 	}
 	s := x.sm
+	// New and Restore refuse sharded configurations, so a Sim is always
+	// a whole serial simulation; fail loudly if that invariant breaks
+	// rather than serialize one shard's partial queue.
+	if s.shard != nil || s.rankLo != 0 || s.rankHi != s.cfg.Ranks {
+		return fmt.Errorf("mpisim: Snapshot of a shard-partition simulation")
+	}
 
 	// Capture the pending event queue in execution order first: eager
 	// message identity is assigned by first appearance (delivery events,
@@ -535,9 +541,17 @@ func perRankPrograms(s *simulation) []Program {
 // with (a structural fingerprint is verified; cost-model and noise
 // functions must match by contract). The restored simulation resumes
 // byte-identically: same event order, same traces, same final report.
+//
+// Snapshots are a serial-engine format: they serialize one engine's
+// event queue, which a sharded run does not have. Mirroring New, a
+// configuration requesting shards is rejected — restoring one shard's
+// queue under a sharded config would otherwise silently drop the rest.
 func Restore(cfg Config, programs []Program, rd io.Reader) (*Sim, error) {
 	if err := validate(cfg, programs); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 0 {
+		return nil, fmt.Errorf("mpisim: cannot restore into a sharded configuration (Shards=%d); snapshots are serial-engine state, set Shards to 0", cfg.Shards)
 	}
 	sr := &snapReader{r: bufio.NewReader(rd)}
 	var magic [8]byte

@@ -8,6 +8,16 @@
 // deterministic: they derive one private random stream per rank from a
 // single seed, so a given configuration always produces the same noise
 // regardless of execution order.
+//
+// That determinism extends across injector instances: two injectors
+// built from the same parameters replay byte-identical per-rank streams
+// no matter how their queries interleave across ranks, because each
+// substream depends only on (seed, rank) and on the rank's own query
+// count. This is what makes the injectors safe to clone per shard for
+// conservative parallel runs (mpisim.Config.NoiseFactory) — every shard
+// sees exactly the noise a serial run would have produced. A single
+// injector instance is still not safe for concurrent use; sharded runs
+// must build one instance per shard through the factory.
 package noise
 
 import (
@@ -124,7 +134,10 @@ func (p Profile) Sample(seed uint64, n int) ([]sim.Time, error) {
 // perRank builds a NoiseFunc with an independent substream per rank.
 // Samples are drawn lazily in step order; because mpisim executes each
 // rank's phases in program order, the (rank, step) -> sample mapping is
-// deterministic.
+// deterministic. The mapping is also shard-invariant: a substream
+// depends only on (seed, rank) and the rank's own draw count, never on
+// queries for other ranks, so independently built instances agree
+// sample-for-sample however their queries interleave.
 func perRank(seed uint64, sample func(*rng.Rand) float64) mpisim.NoiseFunc {
 	root := rng.New(seed)
 	streams := make(map[int]*rng.Rand)

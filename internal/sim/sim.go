@@ -239,6 +239,23 @@ func (e *Engine) RunUntil(limit Time) Time {
 	return e.now
 }
 
+// NextEventTime returns the scheduled time of the earliest live pending
+// event, or false when no live event is queued. Cancelled events at the
+// head of the queue are discarded on the way — the run loop would skip
+// them anyway. The parallel shard driver polls this between execution
+// windows to compute safe lookahead horizons.
+func (e *Engine) NextEventTime() (Time, bool) {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if !top.dead {
+			return top.at, true
+		}
+		e.pop()
+		e.recycle(top)
+	}
+	return 0, false
+}
+
 // Step executes exactly one live event, if any, and reports whether an
 // event ran. Useful for fine-grained testing.
 func (e *Engine) Step() bool {

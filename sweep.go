@@ -359,7 +359,10 @@ type SweepSpec struct {
 	// metric is required.
 	Metrics []Metric
 	// Workers bounds the worker pool; 0 means GOMAXPROCS. Results are
-	// identical for any worker count.
+	// identical for any worker count. Base.Shards composes with Workers:
+	// each grid point additionally runs its simulation sharded across
+	// that many engines, so per-point parallelism (Shards) and
+	// across-point parallelism (Workers) multiply.
 	Workers int
 }
 
