@@ -67,6 +67,8 @@ func Suite() []Case {
 			MaxBytesRatio: 20,
 			F:             ChainWave100k,
 		},
+		{Name: "SweepReplayUncached", Detail: "sweep service cold path: submit a 4-point spec to a fresh manager", F: SweepReplayUncached},
+		{Name: "SweepReplayCached", Detail: "sweep service replay: byte-identical spec answered from the content-addressed cache", F: SweepReplayCached},
 	}
 	shardCounts := []int{1, 2, 4}
 	if n := runtime.NumCPU(); n > 4 {

@@ -19,6 +19,9 @@ func BenchmarkNoiseSweep(b *testing.B)     { NoiseSweep(b) }
 func BenchmarkChainWave1k(b *testing.B)    { ChainWave1k(b) }
 func BenchmarkChainWave100k(b *testing.B)  { ChainWave100k(b) }
 
+func BenchmarkSweepReplayUncached(b *testing.B) { SweepReplayUncached(b) }
+func BenchmarkSweepReplayCached(b *testing.B)   { SweepReplayCached(b) }
+
 // BenchmarkSuiteShards runs every shard-scaling suite case as a
 // sub-benchmark named after the case.
 func BenchmarkSuiteShards(b *testing.B) {
@@ -36,7 +39,7 @@ func BenchmarkSuiteShards(b *testing.B) {
 // count, so it is checked structurally.
 func TestSuiteNamesMatchWrappers(t *testing.T) {
 	want := []string{"EngineSchedule", "ChainWave1D", "Torus2D", "LBMMemBound", "NoiseSweep",
-		"ChainWave1k", "ChainWave100k"}
+		"ChainWave1k", "ChainWave100k", "SweepReplayUncached", "SweepReplayCached"}
 	suite := Suite()
 	if len(suite) < len(want) {
 		t.Fatalf("suite has %d cases, want at least %d", len(suite), len(want))

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/spec"
+)
+
+// replaySpec is the declarative sweep the service-replay benchmarks
+// submit: a 2x2 grid (noise level x message size) over a 16-rank
+// periodic chain — small enough to iterate, large enough that the
+// cached case's savings are unmistakable.
+func replaySpec() spec.Sweep {
+	return spec.Sweep{
+		Base: spec.Scenario{
+			Ranks: 16, Steps: 12, Texec: "3ms", Boundary: "periodic", Seed: 42,
+			Delay: []spec.Delay{{Rank: 0, Step: 2, Duration: "15ms"}},
+		},
+		Axes: []spec.Axis{
+			{Kind: "noise", Values: []string{"0", "0.05"}},
+			{Kind: "bytes", Values: []string{"8192", "65536"}},
+		},
+	}
+}
+
+// settle blocks until the job leaves the queued/running states.
+func settle(b *testing.B, job *serve.Job) {
+	b.Helper()
+	for {
+		// A from cursor beyond any possible point count makes WaitPoints
+		// block until the job settles.
+		_, state, errMsg := job.WaitPoints(1<<30, nil)
+		switch state {
+		case serve.StateDone:
+			return
+		case serve.StateFailed:
+			b.Fatalf("job %s failed: %s", job.ID, errMsg)
+		}
+	}
+}
+
+// SweepReplayUncached measures the sweep service's cold path: every
+// iteration submits the replay spec to a fresh manager, so nothing is
+// cached and the full canonicalize-hash-schedule-simulate pipeline
+// runs. The gap to SweepReplayCached is the work the content-addressed
+// cache saves on a byte-identical replay.
+func SweepReplayUncached(b *testing.B) {
+	ws := replaySpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := serve.NewManager(serve.Config{MaxJobs: 1})
+		job, err := m.Submit(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		settle(b, job)
+		if job.Cached() {
+			b.Fatal("fresh manager served from cache")
+		}
+		m.Close()
+	}
+}
+
+// SweepReplayCached measures the cache-hit latency: the manager is
+// pre-warmed with the replay spec outside the timed loop, so every
+// timed submission is answered from the whole-sweep cache — the cost
+// of canonicalize + hash + lookup, with zero simulation.
+func SweepReplayCached(b *testing.B) {
+	ws := replaySpec()
+	m := serve.NewManager(serve.Config{MaxJobs: 1})
+	defer m.Close()
+	job, err := m.Submit(ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	settle(b, job)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, err := m.Submit(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		settle(b, job)
+		if !job.Cached() {
+			b.Fatal("replay missed the cache")
+		}
+	}
+}

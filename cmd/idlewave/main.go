@@ -13,6 +13,12 @@
 //	idlewave -workload lbm:40:cells=90 -steps 31 -delay 15ms
 //	idlewave -workload triad:18 -workload-topology grid:3x6:periodic
 //	idlewave -topology chain:32 -machine custom:lat=5us:bw=1GB/s -noise periodic:500us@10ms
+//	idlewave -spec scenario.json -timeline
+//
+// The -spec flag runs the base scenario of a declarative spec document
+// (the JSON the sweep service consumes; see idlewave.ParseSpec) through
+// the same ad-hoc pipeline. "-" reads from stdin; only -timeline and
+// -workers compose with it.
 //
 // The -topology flag (chain:<n>[:opts], grid:<e1>x<e2>[x...][:opts],
 // torus:<dims>[:opts]; opts are open, periodic, uni, bi, d=<k>) runs a
@@ -35,6 +41,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -66,8 +74,34 @@ func main() {
 		delayDur = flag.Duration("delay", 15*time.Millisecond, "ad-hoc scenario: injected delay (0 = none)")
 		timeline = flag.Bool("timeline", false, "ad-hoc scenario: render the rank-over-time timeline")
 		shards   = flag.Int("shards", 0, "ad-hoc scenario: parallel-DES shard count (0 = serial; results are byte-identical at any count)")
+		specFile = flag.String("spec", "", "run the base scenario of a declarative spec document (\"-\" = stdin); replaces the ad-hoc flags")
 	)
 	flag.Parse()
+
+	if *specFile != "" {
+		// The spec document carries the whole scenario; reject every
+		// flag it supersedes instead of silently ignoring them.
+		var conflict []string
+		super := map[string]bool{
+			"exp": true, "topology": true, "workload": true, "workload-topology": true,
+			"machine": true, "noise": true, "steps": true, "bytes": true, "E": true,
+			"delay-rank": true, "delay-step": true, "delay": true, "seed": true, "shards": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if super[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "idlewave: -spec replaces %s; edit the spec document instead\n", strings.Join(conflict, ", "))
+			os.Exit(2)
+		}
+		if err := runSpecFile(*specFile, *timeline); err != nil {
+			fmt.Fprintf(os.Stderr, "idlewave: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range core.Experiments() {
@@ -206,12 +240,50 @@ func runScenario(f scenarioFlags) error {
 	if err != nil {
 		return err
 	}
+	return report(spec, res, f.machSpec != "", f.noiseSpec != "", f.timeline)
+}
 
+// runSpecFile simulates the base scenario of a declarative spec
+// document ("-" = stdin) and prints the same ad-hoc report.
+func runSpecFile(path string, timeline bool) error {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	ws, err := idlewave.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	if len(ws.Axes) > 0 {
+		return fmt.Errorf("the spec has %d sweep axes; idlewave runs single scenarios — submit it to cmd/sweep or the sweep service instead", len(ws.Axes))
+	}
+	spec, err := idlewave.ScenarioFromSpec(ws.Base)
+	if err != nil {
+		return err
+	}
+	res, err := idlewave.Simulate(spec)
+	if err != nil {
+		return err
+	}
+	return report(spec, res, ws.Base.Machine != "", ws.Base.Noise != "", timeline)
+}
+
+// report prints the ad-hoc scenario summary both flag-built and
+// spec-built runs share.
+func report(spec idlewave.ScenarioSpec, res *idlewave.Result, showMachine, showNoise, timeline bool) error {
 	fmt.Printf("workload  %v\n", res.Workload())
-	if f.machSpec != "" {
+	if showMachine {
 		fmt.Printf("machine   %s\n", spec.Machine.Name)
 	}
-	if f.noiseSpec != "" {
+	if showNoise {
 		fmt.Printf("noise     %v\n", spec.Noise)
 	}
 	if topo := res.Topology(); topo != nil {
@@ -224,7 +296,10 @@ func runScenario(f scenarioFlags) error {
 	}
 	if len(spec.Delay) > 0 {
 		d := spec.Delay[0]
-		fmt.Printf("delay     %v at rank %d, step %d\n", f.delayDur, d.Rank, d.Step)
+		// Round: sim times are float seconds, and 0.015*1e9 lands one ulp
+		// under 15000000 — truncation would print "14.999999ms".
+		dur := time.Duration(math.Round(float64(d.Duration) * float64(time.Second)))
+		fmt.Printf("delay     %v at rank %d, step %d\n", dur, d.Rank, d.Step)
 		if v, err := res.WaveSpeed(d.Rank); err == nil {
 			fmt.Printf("wave      speed %.1f hops/s", v)
 			if dec, err := res.WaveDecay(d.Rank); err == nil {
@@ -233,7 +308,7 @@ func runScenario(f scenarioFlags) error {
 			fmt.Println()
 		}
 	}
-	if f.timeline {
+	if timeline {
 		return res.RenderTimeline(os.Stdout, 100)
 	}
 	return nil

@@ -1,0 +1,97 @@
+// Command serve runs the long-lived sweep service: an HTTP/JSON API
+// that accepts declarative sweep specs (the idlewave.ParseSpec JSON
+// document), schedules them onto the concurrent sweep engine, and
+// caches results under their content hash — resubmitting a spec that
+// already ran returns its results instantly, byte-identical to the
+// first run and to cmd/sweep on equivalent flags.
+//
+// Usage:
+//
+//	serve -addr :8177
+//	serve -addr 127.0.0.1:0 -jobs 4 -max-points 10000
+//
+// API (see internal/serve for the handler semantics):
+//
+//	POST   /v1/sweeps             submit a spec → job id + cache status
+//	GET    /v1/sweeps             list jobs
+//	GET    /v1/sweeps/{id}        status; ?format=csv|json|markdown renders results
+//	DELETE /v1/sweeps/{id}        cancel
+//	GET    /v1/sweeps/{id}/stream per-point NDJSON (SSE with Accept: text/event-stream)
+//	GET    /v1/healthz            liveness
+//	GET    /v1/stats              cache hit rates, job counts, points/sec
+//
+// The resolved listen address is printed on startup (useful with
+// ":0"); SIGINT/SIGTERM drain in-flight jobs and exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8177", "listen address (host:port; port 0 picks a free port)")
+		jobs       = flag.Int("jobs", 2, "sweeps running concurrently; further submissions queue")
+		maxPoints  = flag.Int("max-points", 100000, "per-job point budget; bigger specs are rejected (0 = unlimited)")
+		jobWorkers = flag.Int("workers-per-job", 0, "worker pool cap per job (0 = all cores)")
+		cacheSw    = flag.Int("cache-sweeps", 64, "whole-sweep result cache entries")
+		cachePt    = flag.Int("cache-points", 4096, "per-point result cache entries")
+	)
+	flag.Parse()
+
+	if err := run(*addr, serve.Config{
+		MaxJobs:       *jobs,
+		MaxPoints:     *maxPoints,
+		WorkersPerJob: *jobWorkers,
+		SweepCache:    *cacheSw,
+		PointCache:    *cachePt,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	m := serve.NewManager(cfg)
+	srv := &http.Server{Handler: serve.Handler(m)}
+
+	fmt.Printf("serve: listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		m.Close()
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("serve: %s, shutting down\n", sig)
+	}
+	// Stop accepting connections first, then drain the job manager.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		m.Close()
+		return err
+	}
+	m.Close()
+	return nil
+}

@@ -15,6 +15,14 @@
 //	sweep -workload triad:18,lbm:18:cells=90,divide:18 -metrics runtime,membw
 //	sweep -E 0,0.05 -format markdown
 //	sweep -E 0,0.05,0.1 -bench    # engine scaling demo: serial vs parallel
+//	sweep -spec sweep.json -format csv
+//
+// The -spec flag runs a declarative sweep spec (the JSON document the
+// sweep service consumes; see idlewave.ParseSpec) instead of the flag
+// axes, producing byte-identical output to the equivalent flags. "-"
+// reads the spec from stdin. Only the output flags (-format, -o), the
+// execution flags (-workers, -bench) and the profiling flags compose
+// with it; everything the spec describes is rejected as a conflict.
 //
 // The -topology flag takes comma-separated topology specs
 // (chain:<n>[:opts], grid:<e1>x<e2>[x...][:opts], torus:<dims>[:opts];
@@ -42,6 +50,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -81,10 +90,21 @@ func main() {
 		outFile  = flag.String("o", "", "write output to a file instead of stdout")
 		bench    = flag.Bool("bench", false, "time the grid with workers=1 and the requested pool, report the speedup")
 
+		specFile = flag.String("spec", "", "run a declarative sweep spec from this JSON file (\"-\" = stdin); replaces the scenario and axis flags")
+
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file when the sweep finishes")
 	)
 	flag.Parse()
+
+	if *specFile != "" {
+		// A spec document carries the whole sweep; only output,
+		// execution and profiling flags compose with it.
+		rejectConflicts("-spec", "edit the spec document instead",
+			"ranks", "steps", "texec", "delay-rank", "delay-step", "delay",
+			"periodic", "seed", "E", "noise", "bytes", "d", "dir",
+			"topology", "workload", "machine", "metrics", "shards")
+	}
 
 	if *topoList != "" {
 		// -topology supersedes the chain-only shape flags; reject
@@ -106,15 +126,21 @@ func main() {
 		rejectConflicts("-noise", "express levels as exp:<level> noise specs", "E")
 	}
 
-	spec, err := buildSpec(specFlags{
-		ranks: *ranks, steps: *steps, texec: *texec,
-		delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
-		periodic: *periodic, seed: *seed,
-		eList: *eList, noiseList: *noiseList, byteList: *byteList, dList: *dList,
-		dirList: *dirList, topoList: *topoList, wlList: *wlList,
-		machList: *machList,
-		metrics:  *metricsF, workers: *workers, shards: *shards,
-	})
+	var spec idlewave.SweepSpec
+	var err error
+	if *specFile != "" {
+		spec, err = loadSpec(*specFile, *workers)
+	} else {
+		spec, err = buildSpec(specFlags{
+			ranks: *ranks, steps: *steps, texec: *texec,
+			delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
+			periodic: *periodic, seed: *seed,
+			eList: *eList, noiseList: *noiseList, byteList: *byteList, dList: *dList,
+			dirList: *dirList, topoList: *topoList, wlList: *wlList,
+			machList: *machList,
+			metrics:  *metricsF, workers: *workers, shards: *shards,
+		})
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
@@ -182,6 +208,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadSpec reads a declarative sweep spec ("-" = stdin) and builds the
+// runnable sweep from it. An explicit -workers flag overrides the
+// spec's worker count — an execution knob, not part of the sweep's
+// content (the results are identical either way).
+func loadSpec(path string, workers int) (idlewave.SweepSpec, error) {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return idlewave.SweepSpec{}, err
+	}
+	ws, err := idlewave.ParseSpec(data)
+	if err != nil {
+		return idlewave.SweepSpec{}, err
+	}
+	spec, err := idlewave.SweepFromSpec(ws)
+	if err != nil {
+		return idlewave.SweepSpec{}, err
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			spec.Workers = workers
+		}
+	})
+	return spec, nil
 }
 
 // rejectConflicts exits with a usage error when any of the named flags
@@ -408,26 +467,11 @@ func parseMetrics(s string, delayAt int) ([]idlewave.Metric, error) {
 	}
 	var out []idlewave.Metric
 	for _, p := range strings.Split(s, ",") {
-		switch strings.TrimSpace(p) {
-		case "speed":
-			out = append(out, idlewave.MetricWaveSpeed(src))
-		case "decay":
-			out = append(out, idlewave.MetricWaveDecay(src))
-		case "idle":
-			out = append(out, idlewave.MetricTotalIdle())
-		case "quiet":
-			out = append(out, idlewave.MetricQuietStep())
-		case "runtime":
-			out = append(out, idlewave.MetricRuntime())
-		case "events":
-			out = append(out, idlewave.MetricEvents())
-		case "membw":
-			out = append(out, idlewave.MetricMemBandwidth())
-		case "steptime":
-			out = append(out, idlewave.MetricStepTime())
-		default:
-			return nil, fmt.Errorf("unknown metric %q (want speed, decay, idle, quiet, runtime, events, membw or steptime)", p)
+		m, err := idlewave.MetricByName(p, src)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, m)
 	}
 	return out, nil
 }

@@ -111,7 +111,7 @@ func ExampleSimulate_workload() {
 	fmt.Printf("workload %v\n", res.Workload())
 	fmt.Printf("within 10%% of Eq. 2: %v\n", measured > 0.9*predicted && measured < 1.1*predicted)
 	// Output:
-	// workload divide:16
+	// workload divide:16:steps=14
 	// within 10% of Eq. 2: true
 }
 
@@ -151,11 +151,11 @@ func ExampleSweep_workloadAxis() {
 		log.Fatal(err)
 	}
 	// Output:
-	// | workload        | quiet_step |
-	// | --------------- | ---------- |
-	// | triad:12        | 4          |
-	// | lbm:12:cells=40 | -1         |
-	// | divide:12       | 9          |
+	// | workload                                | quiet_step |
+	// | --------------------------------------- | ---------- |
+	// | triad:12:steps=10:ws=2.4e+08:msg=200000 | 4          |
+	// | lbm:12:steps=10:cells=40                | -1         |
+	// | divide:12:steps=10                      | 9          |
 }
 
 // ExampleParseMachine builds a custom system from the machine flag

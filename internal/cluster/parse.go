@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/netmodel"
 	"repro/internal/noise"
@@ -153,47 +152,18 @@ func parseCores(v string) (cores, sockets int, err error) {
 	return cores, sockets, nil
 }
 
-// parseLatency reads a non-negative duration ("1.2us", "0s").
-func parseLatency(v, key string) (sim.Time, error) {
-	d, err := time.ParseDuration(strings.TrimSpace(v))
-	if err != nil || d < 0 {
-		return 0, fmt.Errorf("bad %s %q (want a non-negative duration like 1.2us)", key, v)
-	}
-	return sim.Time(d.Seconds()), nil
-}
+// parseLatency reads a non-negative duration ("1.2us", "0s"); the
+// shared implementation lives next to netmodel.Parse, which reads the
+// same spellings.
+func parseLatency(v, key string) (sim.Time, error) { return netmodel.ParseLatency(v, key) }
 
 // parseRate reads a positive byte rate: a plain float in bytes per
 // second, or a decimal-unit size with an optional /s ("6.8GB/s").
-func parseRate(v, key string) (float64, error) {
-	f, err := parseSize(strings.TrimSuffix(strings.TrimSpace(v), "/s"), key)
-	if err != nil {
-		return 0, err
-	}
-	return f, nil
-}
+func parseRate(v, key string) (float64, error) { return netmodel.ParseRate(v, key) }
 
 // parseSize reads a positive byte count with optional decimal unit
 // suffix ("32768", "128KB", "1.2e9", "6.8GB").
-func parseSize(v, key string) (float64, error) {
-	s := strings.TrimSpace(v)
-	mult := 1.0
-	upper := strings.ToUpper(s)
-	for _, u := range []struct {
-		suffix string
-		mult   float64
-	}{{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9}, {"TB", 1e12}, {"B", 1}} {
-		if strings.HasSuffix(upper, u.suffix) {
-			mult = u.mult
-			s = strings.TrimSpace(s[:len(s)-len(u.suffix)])
-			break
-		}
-	}
-	f, err := strconv.ParseFloat(s, 64)
-	if err != nil || f <= 0 {
-		return 0, fmt.Errorf("bad %s %q (want a positive size like 32768, 128KB or 6.8GB/s)", key, v)
-	}
-	return f * mult, nil
-}
+func parseSize(v, key string) (float64, error) { return netmodel.ParseSize(v, key) }
 
 // FormatRate renders a byte rate in the ParseMachine syntax
 // ("6.8GB/s"); it is netmodel.FormatRate, re-exposed here next to the

@@ -1,0 +1,50 @@
+package netmodel
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseNetModel checks the cost-model spec parser over arbitrary
+// input: Parse must never panic, and the String() of any accepted model
+// must itself re-parse. Because FormatRate renders bandwidths with a
+// 4-digit mantissa, the first formatting pass may round an arbitrary
+// bandwidth (and a round-up can carry across a unit boundary:
+// "999950" -> "1000KB/s" -> "1MB/s"), so the contract is convergence
+// after one extra pass: the second canonical form is a fixed point and
+// re-parses to a reflect.DeepEqual value.
+func FuzzParseNetModel(f *testing.F) {
+	for _, s := range []string{
+		"hockney:lat=1.7us:bw=6.8GB/s:eager=32768",
+		"hockney:bw=3e9",
+		"hockney:bw=999950",
+		"loggops:lat=5us:o=400ns/600ns:bw=10GB/s:eager=65536",
+		"loggops:o=250ns:bw=inf",
+		"", "hockney", "hockney:bw=inf", "hier(a | b | c)", "warp:bw=1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := Parse(s)
+		if err != nil {
+			return
+		}
+		c1 := fmt.Sprint(m)
+		m2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but its String %q does not re-parse: %v", s, c1, err)
+		}
+		c2 := fmt.Sprint(m2)
+		m3, err := Parse(c2)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", c2, err)
+		}
+		if c3 := fmt.Sprint(m3); c3 != c2 {
+			t.Fatalf("String did not converge for %q: %q -> %q -> %q", s, c1, c2, c3)
+		}
+		if !reflect.DeepEqual(m3, m2) {
+			t.Fatalf("canonical round trip of %q not value-exact: %#v vs %#v", s, m2, m3)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/spec"
+)
+
+// maxSpecBytes bounds the request body of a sweep submission; specs
+// are small JSON documents, so anything larger is a client error.
+const maxSpecBytes = 1 << 20
+
+// Handler builds the service's HTTP API on a Go 1.22 pattern mux:
+//
+//	POST   /v1/sweeps             submit a spec → job id + cache status
+//	GET    /v1/sweeps             list jobs
+//	GET    /v1/sweeps/{id}        job status; ?format=csv|json|markdown
+//	                              renders the finished result table
+//	DELETE /v1/sweeps/{id}        cancel the job
+//	GET    /v1/sweeps/{id}/stream incremental per-point NDJSON (or SSE
+//	                              with Accept: text/event-stream)
+//	GET    /v1/healthz            liveness probe
+//	GET    /v1/stats              cache hit rates, job counts, points/sec
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) { handleSubmit(m, w, r) })
+	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) { handleList(m, w, r) })
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) { handleGet(m, w, r) })
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) { handleCancel(m, w, r) })
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", func(w http.ResponseWriter, r *http.Request) { handleStream(m, w, r) })
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	ws, err := spec.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := m.Submit(*ws)
+	if err != nil {
+		var be *BudgetError
+		switch {
+		case errors.As(err, &be):
+			writeError(w, http.StatusUnprocessableEntity, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, job.Status())
+}
+
+func handleList(m *Manager, w http.ResponseWriter, _ *http.Request) {
+	jobs := m.List()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// getResponse is the default GET /v1/sweeps/{id} payload; Results is
+// present once the job is done.
+type getResponse struct {
+	Status
+	Results *resultTable `json:"results,omitempty"`
+}
+
+type resultTable struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+func handleGet(m *Manager, w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	format := strings.ToLower(r.URL.Query().Get("format"))
+	if format == "" {
+		resp := getResponse{Status: job.Status()}
+		if resp.State == StateDone {
+			tbl, err := job.Table()
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			rows := tbl.Rows()
+			resp.Results = &resultTable{Header: rows[0], Rows: rows[1:]}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	tbl, err := job.Table()
+	if err != nil {
+		// Not done yet (or failed): the render formats only exist for
+		// finished jobs.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		err = tbl.WriteCSV(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = tbl.WriteJSON(w)
+	case "markdown", "md":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		err = tbl.WriteMarkdown(w)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want csv, json or markdown)", format))
+		return
+	}
+	if err != nil {
+		// Headers are already out; nothing useful left to report.
+		return
+	}
+}
+
+func handleCancel(m *Manager, w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// streamEnd is the closing frame of a point stream.
+type streamEnd struct {
+	Done  bool   `json:"done"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleStream feeds completed points to the client as they land, in
+// row-major order (the MapStream watermark), one JSON object per NDJSON
+// line — or as SSE data frames when the client asks for
+// text/event-stream. The stream closes with a {"done":true,...} frame
+// carrying the final state.
+func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	emit := func(v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	// Wake the wait loop when the client goes away, so the handler
+	// goroutine does not outlive the request on a long-running job.
+	ctx := r.Context()
+	go func() {
+		<-ctx.Done()
+		job.Wake()
+	}()
+
+	sent := 0
+	for ctx.Err() == nil {
+		points, state, errMsg := job.WaitPoints(sent, func() bool { return ctx.Err() != nil })
+		for _, p := range points {
+			if !emit(p) {
+				return
+			}
+			sent++
+		}
+		if len(points) == 0 && (state == StateDone || state == StateFailed) {
+			emit(streamEnd{Done: true, State: state, Error: errMsg})
+			return
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	idlewave "repro"
+)
+
+// Job is one submitted sweep's lifecycle: queued → running → done, or
+// failed (spec errors never reach a job — Submit rejects them — so a
+// failed job means a simulation error or a cancellation). Points
+// accumulate in row-major grid order as the sweep progresses; waiters
+// block on a condition variable, which is what the streaming endpoint
+// hangs off.
+type Job struct {
+	// ID is the manager-assigned job identifier.
+	ID string
+	// Hash is the canonical spec content hash the result is cached
+	// under.
+	Hash string
+	// SpecJSON is the canonical encoding of the submitted spec.
+	SpecJSON []byte
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	state    State
+	cached   bool
+	errMsg   string
+	header   []string
+	total    int
+	points   []Point
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	canceled   atomic.Bool
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+}
+
+func newJob(id, hash string, specJSON []byte, header []string, total int) *Job {
+	j := &Job{
+		ID:       id,
+		Hash:     hash,
+		SpecJSON: specJSON,
+		state:    StateQueued,
+		header:   header,
+		total:    total,
+		created:  time.Now(),
+		cancelCh: make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Cancel requests the job stop: a queued job fails without running,
+// a running job stops at the next point boundary. Idempotent; no-op on
+// settled jobs.
+func (j *Job) Cancel() {
+	j.canceled.Store(true)
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+}
+
+// Canceled reports whether Cancel has been called.
+func (j *Job) Canceled() bool { return j.canceled.Load() }
+
+func (j *Job) start() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+func (j *Job) append(p Point) {
+	j.mu.Lock()
+	j.points = append(j.points, p)
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+func (j *Job) finish() {
+	j.mu.Lock()
+	j.state = StateDone
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	if j.state != StateDone && j.state != StateFailed {
+		j.state = StateFailed
+		j.errMsg = msg
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// completeCached settles the job instantly from a whole-sweep cache
+// hit.
+func (j *Job) completeCached(cs cachedSweep) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.cached = true
+	j.header = cs.header
+	j.points = cs.points
+	j.started = time.Now()
+	j.finished = j.started
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cached reports whether the job was answered from the whole-sweep
+// cache.
+func (j *Job) Cached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
+
+// Header returns the result table header (axis names then metric
+// names).
+func (j *Job) Header() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.header...)
+}
+
+// PointsDone returns a copy of the completed points from index from
+// onward, without blocking.
+func (j *Job) PointsDone(from int) []Point {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from >= len(j.points) {
+		return nil
+	}
+	return append([]Point(nil), j.points[from:]...)
+}
+
+// Wake broadcasts to WaitPoints waiters; external stop conditions
+// (a dropped streaming client) call it so their waiters re-check
+// stopped.
+func (j *Job) Wake() { j.cond.Broadcast() }
+
+// WaitPoints blocks until the job has more than from completed points,
+// settles, or stopped() turns true (re-checked after every Wake), then
+// returns the new points plus the state and error message at that
+// moment. Streaming loops call it with a running cursor; when it
+// returns no points and a settled state, the stream is complete.
+func (j *Job) WaitPoints(from int, stopped func() bool) ([]Point, State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.points) <= from && j.state != StateDone && j.state != StateFailed {
+		if stopped != nil && stopped() {
+			break
+		}
+		j.cond.Wait()
+	}
+	var out []Point
+	if from < len(j.points) {
+		out = append([]Point(nil), j.points[from:]...)
+	}
+	return out, j.state, j.errMsg
+}
+
+// Status is the JSON shape of a job in API responses.
+type Status struct {
+	ID          string    `json:"id"`
+	State       State     `json:"state"`
+	Cached      bool      `json:"cached"`
+	SpecHash    string    `json:"spec_hash"`
+	TotalPoints int       `json:"total_points"`
+	DonePoints  int       `json:"done_points"`
+	Error       string    `json:"error,omitempty"`
+	Created     time.Time `json:"created"`
+	Started     time.Time `json:"started,omitempty"`
+	Finished    time.Time `json:"finished,omitempty"`
+}
+
+// Status snapshots the job for an API response.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:          j.ID,
+		State:       j.state,
+		Cached:      j.cached,
+		SpecHash:    j.Hash,
+		TotalPoints: j.total,
+		DonePoints:  len(j.points),
+		Error:       j.errMsg,
+		Created:     j.created,
+		Started:     j.started,
+		Finished:    j.finished,
+	}
+}
+
+// Table renders the completed job as the public SweepTable, so the
+// HTTP layer emits results through exactly the writers cmd/sweep uses
+// — the byte-identity guarantee of the service rests on sharing them.
+func (j *Job) Table() (*idlewave.SweepTable, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, fmt.Errorf("serve: job %s is %s, not done", j.ID, j.state)
+	}
+	t := &idlewave.SweepTable{Header: append([]string(nil), j.header...)}
+	for _, p := range j.points {
+		t.Points = append(t.Points, idlewave.SweepPoint{Labels: p.Labels, Values: p.Values})
+	}
+	return t, nil
+}

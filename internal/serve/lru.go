@@ -1,0 +1,94 @@
+// Package serve is the long-lived sweep service behind cmd/serve: a
+// job manager that schedules declarative sweep specs (internal/spec)
+// onto the concurrent sweep engine, a content-addressed result cache
+// that makes byte-identical replays free, and the HTTP/JSON handlers
+// that expose both.
+//
+// Caching is sound because of the determinism contract the simulator
+// keeps end to end: a canonical spec hash names exactly one output
+// (fixed seed ⇒ byte-identical results at any worker or shard count),
+// so a cache hit is not an approximation — it is the answer. The
+// service caches at two grains: whole sweeps (replay of an identical
+// spec returns instantly, flagged cached) and single grid points
+// (overlapping sweeps share the points they have in common, keyed by
+// the hash of the one-point slice spec).
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a fixed-capacity, thread-safe LRU map from content hashes
+// to results. It counts hits and misses for the /v1/stats endpoint.
+type cache[V any] struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	idx    map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry[V any] struct {
+	key string
+	val V
+}
+
+func newCache[V any](capacity int) *cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache[V]{cap: capacity, ll: list.New(), idx: make(map[string]*list.Element)}
+}
+
+// get looks the key up, promoting it to most-recently-used on a hit.
+func (c *cache[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// put inserts or refreshes the key, evicting the least-recently-used
+// entry when over capacity.
+func (c *cache[V]) put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*cacheEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.idx, el.Value.(*cacheEntry[V]).key)
+	}
+}
+
+// CacheStats is one cache's counters, as reported by /v1/stats.
+type CacheStats struct {
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+func (c *cache[V]) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Entries: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

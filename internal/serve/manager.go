@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	idlewave "repro"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// Config bounds the resources a Manager spends on behalf of its
+// clients. The zero value selects the defaults noted per field.
+type Config struct {
+	// MaxJobs is the number of sweeps that run concurrently; further
+	// submissions queue. Default 2.
+	MaxJobs int
+	// MaxPoints is the per-job point budget: a spec whose grid exceeds
+	// it is rejected at submission. 0 means unlimited.
+	MaxPoints int
+	// WorkersPerJob caps the worker pool each job fans its points
+	// across. A spec requesting fewer workers gets fewer; 0 means
+	// GOMAXPROCS.
+	WorkersPerJob int
+	// SweepCache is the whole-sweep result cache capacity in entries.
+	// Default 64.
+	SweepCache int
+	// PointCache is the per-point result cache capacity in entries.
+	// Default 4096.
+	PointCache int
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Point is one completed grid point: its row-major index plus the axis
+// labels and metric values that form its table row.
+type Point struct {
+	Index  int       `json:"index"`
+	Labels []string  `json:"labels"`
+	Values []float64 `json:"values"`
+}
+
+type cachedSweep struct {
+	header []string
+	points []Point
+}
+
+type cachedPoint struct {
+	labels []string
+	values []float64
+}
+
+var errCanceled = errors.New("canceled")
+
+// Manager owns the jobs, the worker gate and both result caches. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg    Config
+	sem    chan struct{}
+	sweeps *cache[cachedSweep]
+	points *cache[cachedPoint]
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+
+	started        time.Time
+	pointsDone     atomic.Int64
+	pointsComputed atomic.Int64
+	wg             sync.WaitGroup
+}
+
+// NewManager builds a Manager with cfg's resource bounds.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxJobs < 1 {
+		cfg.MaxJobs = 2
+	}
+	if cfg.SweepCache < 1 {
+		cfg.SweepCache = 64
+	}
+	if cfg.PointCache < 1 {
+		cfg.PointCache = 4096
+	}
+	return &Manager{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxJobs),
+		sweeps:  newCache[cachedSweep](cfg.SweepCache),
+		points:  newCache[cachedPoint](cfg.PointCache),
+		jobs:    make(map[string]*Job),
+		started: time.Now(),
+	}
+}
+
+// Submit validates the spec, registers a job for it and returns
+// immediately. A whole-sweep cache hit completes the job before Submit
+// returns, flagged Cached; otherwise the job runs in the background as
+// the MaxJobs gate allows. Validation failures (bad component
+// spellings, unknown axis kinds or metrics) and budget violations are
+// reported here, so a job that exists will not fail on spec errors.
+func (m *Manager) Submit(ws spec.Sweep) (*Job, error) {
+	c, err := ws.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := c.Hash()
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.Points()
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.MaxPoints > 0 && n > m.cfg.MaxPoints {
+		return nil, &BudgetError{Points: n, Budget: m.cfg.MaxPoints}
+	}
+	// Build the runnable sweep once up front: this rejects anything the
+	// simulator would reject and yields the table header (axis names
+	// then metric names, including the implicit seed axis of an axis-
+	// free spec).
+	ss, err := idlewave.SweepFromSpec(&c)
+	if err != nil {
+		return nil, err
+	}
+	header := make([]string, 0, len(ss.Axes)+len(ss.Metrics))
+	for _, ax := range ss.Axes {
+		header = append(header, ax.Name)
+	}
+	for _, mt := range ss.Metrics {
+		header = append(header, mt.Name)
+	}
+	encoded, err := c.Encode()
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("serve: manager is shut down")
+	}
+	m.nextID++
+	job := newJob(fmt.Sprintf("j%06d", m.nextID), hash, encoded, header, n)
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.mu.Unlock()
+
+	if cs, ok := m.sweeps.get(hash); ok {
+		job.completeCached(cs)
+		return job, nil
+	}
+	m.wg.Add(1)
+	go m.run(job, c)
+	return job, nil
+}
+
+// BudgetError reports a spec whose grid exceeds the per-job point
+// budget.
+type BudgetError struct {
+	Points int
+	Budget int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("serve: sweep has %d points, budget is %d", e.Points, e.Budget)
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Close stops accepting submissions, cancels queued and running jobs
+// and waits for them to settle.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	m.wg.Wait()
+}
+
+// run executes one job: gate on MaxJobs, fan the grid points across a
+// worker pool via sweep.MapStream, and look every point up in the
+// per-point cache before simulating it. Completed points stream into
+// the job in row-major order, so pollers and the NDJSON stream see a
+// deterministic prefix of the final table at all times.
+func (m *Manager) run(job *Job, c spec.Sweep) {
+	defer m.wg.Done()
+	select {
+	case m.sem <- struct{}{}:
+	case <-job.cancelCh:
+		job.fail(errCanceled.Error())
+		return
+	}
+	defer func() { <-m.sem }()
+	if job.Canceled() {
+		job.fail(errCanceled.Error())
+		return
+	}
+	job.start()
+
+	dims := make([]int, len(c.Axes))
+	for i, a := range c.Axes {
+		dims[i] = len(a.Values)
+	}
+	grid, err := sweep.NewGrid(dims...)
+	if err != nil {
+		job.fail(err.Error())
+		return
+	}
+	workers := c.Workers
+	if workers < 1 || (m.cfg.WorkersPerJob > 0 && workers > m.cfg.WorkersPerJob) {
+		workers = m.cfg.WorkersPerJob
+	}
+	_, err = sweep.MapStream(workers, grid.Size(), func(i int) (Point, error) {
+		if job.Canceled() {
+			return Point{}, errCanceled
+		}
+		sl, err := c.Slice(grid.Coords(i))
+		if err != nil {
+			return Point{}, err
+		}
+		key, err := sl.Hash()
+		if err != nil {
+			return Point{}, err
+		}
+		if cp, ok := m.points.get(key); ok {
+			return Point{Index: i, Labels: cp.labels, Values: cp.values}, nil
+		}
+		ss, err := idlewave.SweepFromSpec(&sl)
+		if err != nil {
+			return Point{}, err
+		}
+		tbl, err := idlewave.Sweep(ss)
+		if err != nil {
+			return Point{}, err
+		}
+		if len(tbl.Points) != 1 {
+			return Point{}, fmt.Errorf("serve: point slice produced %d rows", len(tbl.Points))
+		}
+		p := tbl.Points[0]
+		m.points.put(key, cachedPoint{labels: p.Labels, values: p.Values})
+		m.pointsComputed.Add(1)
+		return Point{Index: i, Labels: p.Labels, Values: p.Values}, nil
+	}, func(i int, p Point, err error) {
+		if err != nil {
+			return
+		}
+		job.append(p)
+		m.pointsDone.Add(1)
+	})
+	if err != nil {
+		if job.Canceled() {
+			job.fail(errCanceled.Error())
+		} else {
+			job.fail(err.Error())
+		}
+		return
+	}
+	job.finish()
+	m.sweeps.put(job.Hash, cachedSweep{header: job.Header(), points: job.PointsDone(0)})
+}
+
+// Stats is the /v1/stats payload: job counts by state, both caches'
+// counters, and point throughput since the manager started.
+type Stats struct {
+	UptimeSec      float64       `json:"uptime_sec"`
+	Jobs           map[State]int `json:"jobs"`
+	SweepCache     CacheStats    `json:"sweep_cache"`
+	PointCache     CacheStats    `json:"point_cache"`
+	PointsDone     int64         `json:"points_done"`
+	PointsComputed int64         `json:"points_computed"`
+	PointsPerSec   float64       `json:"points_per_sec"`
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Jobs:           map[State]int{StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0},
+		SweepCache:     m.sweeps.stats(),
+		PointCache:     m.points.stats(),
+		PointsDone:     m.pointsDone.Load(),
+		PointsComputed: m.pointsComputed.Load(),
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		s.Jobs[j.State()]++
+	}
+	m.mu.Unlock()
+	s.UptimeSec = time.Since(m.started).Seconds()
+	if s.UptimeSec > 0 {
+		s.PointsPerSec = float64(s.PointsDone) / s.UptimeSec
+	}
+	return s
+}

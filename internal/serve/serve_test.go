@@ -1,0 +1,482 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	idlewave "repro"
+	"repro/internal/spec"
+)
+
+// testSpec is a small sweep that still exercises two axes.
+func testSpec() spec.Sweep {
+	return spec.Sweep{
+		Base: spec.Scenario{
+			Ranks: 8, Steps: 6, Texec: "1ms", Seed: 1,
+			Delay: []spec.Delay{{Rank: 0, Step: 1, Duration: "5ms"}},
+		},
+		Axes: []spec.Axis{
+			{Kind: "noise", Values: []string{"0", "0.02"}},
+			{Kind: "bytes", Values: []string{"1024", "4096"}},
+		},
+	}
+}
+
+func postSpec(t *testing.T, srv *httptest.Server, ws spec.Sweep) Status {
+	t.Helper()
+	body, err := ws.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("submit: %v in %s", err, data)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, srv *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("poll: %v in %s", err, data)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not settle", id)
+	return Status{}
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestServerEndToEnd: submit → poll → stream → results, with the
+// rendered CSV byte-identical to a direct idlewave.Sweep on the same
+// spec — the service adds transport and caching, never different
+// numbers.
+func TestServerEndToEnd(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	ws := testSpec()
+	st := postSpec(t, srv, ws)
+	if st.ID == "" || st.Cached {
+		t.Fatalf("fresh submit: %+v", st)
+	}
+	if st.TotalPoints != 4 {
+		t.Fatalf("total points = %d, want 4", st.TotalPoints)
+	}
+	final := waitDone(t, srv, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job failed: %+v", final)
+	}
+	if final.DonePoints != 4 {
+		t.Fatalf("done points = %d, want 4", final.DonePoints)
+	}
+
+	// The stream replays every point in row-major order and closes with
+	// a done frame.
+	code, data := getBody(t, srv.URL+"/v1/sweeps/"+st.ID+"/stream")
+	if code != http.StatusOK {
+		t.Fatalf("stream: status %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("stream: %d lines, want 4 points + done:\n%s", len(lines), data)
+	}
+	for i, line := range lines[:4] {
+		var p Point
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("stream line %d: %v", i, err)
+		}
+		if p.Index != i {
+			t.Fatalf("stream line %d has index %d", i, p.Index)
+		}
+	}
+	var end streamEnd
+	if err := json.Unmarshal([]byte(lines[4]), &end); err != nil || !end.Done || end.State != StateDone {
+		t.Fatalf("stream end frame: %s (%v)", lines[4], err)
+	}
+
+	// CSV, JSON and markdown renders match a direct Sweep call byte for
+	// byte.
+	direct, err := idlewave.SweepFromSpec(&ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := idlewave.Sweep(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for format, write := range map[string]func(io.Writer) error{
+		"csv":      tbl.WriteCSV,
+		"json":     tbl.WriteJSON,
+		"markdown": tbl.WriteMarkdown,
+	} {
+		var want bytes.Buffer
+		if err := write(&want); err != nil {
+			t.Fatal(err)
+		}
+		code, got := getBody(t, srv.URL+"/v1/sweeps/"+st.ID+"?format="+format)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", format, code)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("%s differs from direct Sweep:\n%s\nvs\n%s", format, got, want.String())
+		}
+	}
+}
+
+// TestServerCacheHit: the same spec twice — the second submission is
+// answered from the whole-sweep cache, flagged cached, with
+// byte-identical results; an equivalent spelling of the spec hits too.
+func TestServerCacheHit(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	first := postSpec(t, srv, testSpec())
+	if st := waitDone(t, srv, first.ID); st.State != StateDone {
+		t.Fatalf("first run failed: %+v", st)
+	}
+	_, wantCSV := getBody(t, srv.URL+"/v1/sweeps/"+first.ID+"?format=csv")
+
+	second := postSpec(t, srv, testSpec())
+	if !second.Cached {
+		t.Fatalf("second submission not served from cache: %+v", second)
+	}
+	if second.State != StateDone || second.DonePoints != 4 {
+		t.Fatalf("cached job not complete at submit time: %+v", second)
+	}
+	_, gotCSV := getBody(t, srv.URL+"/v1/sweeps/"+second.ID+"?format=csv")
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Errorf("cached replay differs:\n%s\nvs\n%s", gotCSV, wantCSV)
+	}
+
+	// A differently spelled but canonically equal spec also hits.
+	alt := testSpec()
+	alt.Base.Workload = ""
+	alt.Base.Texec = "1000us"
+	alt.Workers = 3
+	third := postSpec(t, srv, alt)
+	if !third.Cached {
+		t.Errorf("equivalent spelling missed the cache: %+v", third)
+	}
+}
+
+// TestServerPointCacheSharing: a sweep overlapping an earlier one
+// reuses the shared points; only the new points are computed.
+func TestServerPointCacheSharing(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	first := postSpec(t, srv, testSpec())
+	waitDone(t, srv, first.ID)
+	computed := m.pointsComputed.Load()
+	if computed != 4 {
+		t.Fatalf("first sweep computed %d points, want 4", computed)
+	}
+
+	// Same grid plus one more noise level: 2 of 6 points are new.
+	bigger := testSpec()
+	bigger.Axes[0].Values = []string{"0", "0.02", "0.05"}
+	second := postSpec(t, srv, bigger)
+	if st := waitDone(t, srv, second.ID); st.State != StateDone {
+		t.Fatalf("overlapping sweep failed: %+v", st)
+	}
+	if got := m.pointsComputed.Load() - computed; got != 2 {
+		t.Errorf("overlapping sweep computed %d new points, want 2", got)
+	}
+}
+
+// TestServerConcurrentSubmissions hammers the server with identical
+// and distinct specs from many goroutines; run under -race this is the
+// service's data-race canary.
+func TestServerConcurrentSubmissions(t *testing.T) {
+	m := NewManager(Config{MaxJobs: 3})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	ids := make([]string, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := testSpec()
+			// Half the submissions share a spec; half are distinct.
+			if g%2 == 1 {
+				ws.Base.Seed = uint64(g)
+			}
+			body, err := ws.Encode()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				errs[g] = fmt.Errorf("status %d: %s", resp.StatusCode, data)
+				return
+			}
+			var st Status
+			if err := json.Unmarshal(data, &st); err != nil {
+				errs[g] = err
+				return
+			}
+			ids[g] = st.ID
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("submission %d: %v", g, err)
+		}
+	}
+	var reference []byte
+	for g, id := range ids {
+		st := waitDone(t, srv, id)
+		if st.State != StateDone {
+			t.Fatalf("job %s: %+v", id, st)
+		}
+		if g%2 == 0 {
+			_, csv := getBody(t, srv.URL+"/v1/sweeps/"+id+"?format=csv")
+			if reference == nil {
+				reference = csv
+			} else if !bytes.Equal(csv, reference) {
+				t.Errorf("identical spec produced different bytes under concurrency")
+			}
+		}
+	}
+}
+
+// TestServerStreamWhileRunning opens the stream before the job
+// finishes and checks the live feed arrives in order.
+func TestServerStreamWhileRunning(t *testing.T) {
+	m := NewManager(Config{WorkersPerJob: 2})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	ws := testSpec()
+	ws.Axes[0].Values = []string{"0", "0.01", "0.02", "0.03"}
+	st := postSpec(t, srv, ws)
+
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	next := 0
+	for {
+		var raw map[string]any
+		if err := dec.Decode(&raw); err != nil {
+			t.Fatalf("stream decode after %d points: %v", next, err)
+		}
+		if done, ok := raw["done"]; ok {
+			if done != true || raw["state"] != string(StateDone) {
+				t.Fatalf("end frame: %v", raw)
+			}
+			break
+		}
+		if int(raw["index"].(float64)) != next {
+			t.Fatalf("stream point %v out of order (want %d)", raw["index"], next)
+		}
+		next++
+	}
+	if next != 8 {
+		t.Fatalf("streamed %d points, want 8", next)
+	}
+}
+
+// TestServerCancel cancels a queued job stuck behind the MaxJobs gate.
+// The test occupies the single job slot itself, so the victim is
+// deterministically queued when the DELETE arrives.
+func TestServerCancel(t *testing.T) {
+	m := NewManager(Config{MaxJobs: 1, WorkersPerJob: 1})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	m.sem <- struct{}{} // hold the only job slot
+
+	victim := testSpec()
+	victim.Base.Seed = 99
+	victimID := postSpec(t, srv, victim).ID
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sweeps/"+victimID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := waitDone(t, srv, victimID)
+	<-m.sem // release the slot before asserting, so Close can drain
+	if st.State != StateFailed || st.Error != "canceled" {
+		t.Fatalf("canceled job settled as %+v", st)
+	}
+
+	// The freed slot still serves new work.
+	after := testSpec()
+	after.Base.Seed = 100
+	if st := waitDone(t, srv, postSpec(t, srv, after).ID); st.State != StateDone {
+		t.Fatalf("post-cancel job: %+v", st)
+	}
+}
+
+// TestServerRejects covers the client-error paths.
+func TestServerRejects(t *testing.T) {
+	m := NewManager(Config{MaxPoints: 3})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{nope"); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", code)
+	}
+	if code := post(`{"base": {"machine": "deepthought"}}`); code != http.StatusBadRequest {
+		t.Errorf("bad machine: status %d", code)
+	}
+	// testSpec has 4 points, budget is 3.
+	over := testSpec()
+	body, _ := over.Encode()
+	if code := post(string(body)); code != http.StatusUnprocessableEntity {
+		t.Errorf("over budget: status %d", code)
+	}
+	if code, _ := getBody(t, srv.URL+"/v1/sweeps/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", code)
+	}
+	if code, _ := getBody(t, srv.URL+"/v1/sweeps/nope/stream"); code != http.StatusNotFound {
+		t.Errorf("unknown job stream: status %d", code)
+	}
+}
+
+// TestServerStatsAndHealth: the liveness and counters endpoints.
+func TestServerStatsAndHealth(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	code, data := getBody(t, srv.URL+"/v1/healthz")
+	if code != http.StatusOK || !strings.Contains(string(data), `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, data)
+	}
+
+	first := postSpec(t, srv, testSpec())
+	waitDone(t, srv, first.ID)
+	postSpec(t, srv, testSpec()) // cache hit
+
+	code, data = getBody(t, srv.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs[StateDone] != 2 {
+		t.Errorf("done jobs = %d, want 2", st.Jobs[StateDone])
+	}
+	if st.SweepCache.Hits != 1 || st.SweepCache.Entries != 1 {
+		t.Errorf("sweep cache stats: %+v", st.SweepCache)
+	}
+	if st.PointsDone != 4 || st.PointsComputed != 4 {
+		t.Errorf("points done %d computed %d, want 4 and 4", st.PointsDone, st.PointsComputed)
+	}
+}
+
+// TestLRUCache pins the eviction and accounting behavior.
+func TestLRUCache(t *testing.T) {
+	c := newCache[int](2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get a = %d %v", v, ok)
+	}
+	c.put("c", 3) // evicts b (a was refreshed by the get)
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	c.put("a", 10)
+	if v, _ := c.get("a"); v != 10 {
+		t.Errorf("refresh kept stale value %d", v)
+	}
+	s := c.stats()
+	if s.Entries != 2 || s.Capacity != 2 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Errorf("hits %d misses %d, want 3 and 1", s.Hits, s.Misses)
+	}
+	if s.HitRate != 0.75 {
+		t.Errorf("hit rate %g", s.HitRate)
+	}
+}

@@ -93,6 +93,77 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	return results, nil
 }
 
+// MapStream is Map with an incremental result hook for streaming
+// consumers (the sweep service's per-point result feed): emit is called
+// once per job in strictly increasing index order, as soon as the
+// contiguous prefix of finished jobs advances past it — a watermark, so
+// the stream order is deterministic at any worker count even though
+// jobs finish out of order. emit runs serialized (never concurrently
+// with itself) on whichever worker goroutine advanced the watermark; it
+// must not block for long, or it stalls the pool. Each job's error is
+// delivered to emit as well, so a streaming consumer sees failures in
+// order; the returned slice and error follow Map's contract (all jobs
+// always execute, lowest-index error wins).
+func MapStream[T any](workers, n int, fn func(i int) (T, error), emit func(i int, v T, err error)) ([]T, error) {
+	if emit == nil {
+		return Map(workers, n, fn)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative job count %d", n)
+	}
+	if n == 0 {
+		return []T{}, nil
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil job function")
+	}
+	workers = Workers(workers, n)
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	done := make([]bool, n)
+	var (
+		mu        sync.Mutex
+		watermark int
+	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+						}
+					}()
+					results[i], errs[i] = fn(i)
+				}()
+				mu.Lock()
+				done[i] = true
+				for watermark < n && done[watermark] {
+					emit(watermark, results[watermark], errs[watermark])
+					watermark++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
 // Grid enumerates the cartesian product of several axes in row-major
 // order (the last axis varies fastest), mapping a flat job index to the
 // per-axis coordinates and back. It carries only the axis lengths; what

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -208,5 +209,117 @@ func TestWriteMarkdown(t *testing.T) {
 	ragged := Table{Header: []string{"a"}, Rows: [][]string{{"x", "y"}}}
 	if err := ragged.WriteMarkdown(&strings.Builder{}); err == nil {
 		t.Error("WriteMarkdown accepted a ragged row")
+	}
+}
+
+func TestMapStreamEmitsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		var mu sync.Mutex
+		var emitted []int
+		got, err := MapStream(workers, 60, func(i int) (int, error) {
+			// Stagger finish order: later jobs finish first.
+			time.Sleep(time.Duration(60-i) * time.Microsecond)
+			return i * 3, nil
+		}, func(i, v int, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				t.Errorf("workers=%d: emit(%d) got error %v", workers, i, err)
+			}
+			if v != i*3 {
+				t.Errorf("workers=%d: emit(%d) got value %d, want %d", workers, i, v, i*3)
+			}
+			emitted = append(emitted, i)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 60 || len(emitted) != 60 {
+			t.Fatalf("workers=%d: %d results, %d emissions, want 60 each", workers, len(got), len(emitted))
+		}
+		for i, idx := range emitted {
+			if idx != i {
+				t.Fatalf("workers=%d: emission %d has index %d, want %d", workers, i, idx, i)
+			}
+		}
+	}
+}
+
+func TestMapStreamMatchesMap(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("p-%02d", i*7%13), nil }
+	want, err := Map(4, 40, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapStream(4, 40, fn, func(int, string, error) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapStreamDeliversErrorsInOrder(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	var sawErrAt []int
+	_, err := MapStream(4, 20, func(i int) (int, error) {
+		if i == 7 || i == 13 {
+			return 0, boom
+		}
+		return i, nil
+	}, func(i, v int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			sawErrAt = append(sawErrAt, i)
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 7") {
+		t.Errorf("err = %v, want the lowest failing index (7)", err)
+	}
+	if len(sawErrAt) != 2 || sawErrAt[0] != 7 || sawErrAt[1] != 13 {
+		t.Errorf("emit saw errors at %v, want [7 13]", sawErrAt)
+	}
+}
+
+func TestMapStreamNilEmitFallsBackToMap(t *testing.T) {
+	got, err := MapStream(2, 5, func(i int) (int, error) { return i + 1, nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapStreamPanicReachesEmit(t *testing.T) {
+	var mu sync.Mutex
+	errAt := -1
+	_, err := MapStream(3, 9, func(i int) (int, error) {
+		if i == 4 {
+			panic("kaboom")
+		}
+		return i, nil
+	}, func(i, v int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && errAt == -1 {
+			errAt = i
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	if errAt != 4 {
+		t.Errorf("emit saw the panic error at index %d, want 4", errAt)
 	}
 }

@@ -2,27 +2,29 @@ package workload
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 )
 
 // FuzzParseWorkload checks the workload spec parser over arbitrary
-// input: Parse must never panic, and the String() of any accepted
-// workload must itself be a spec that re-parses. Workload String()
-// renders the decomposition but not every numeric option (steps=,
-// texec=, ...), so the round-trip property is a fixed point: one
-// formatting pass canonicalizes, after which spec -> value -> spec is
-// stable and the re-parsed values render identically.
+// input: Parse must never panic, the String() of any accepted workload
+// must re-parse to a reflect.DeepEqual value (String renders every
+// numeric option that differs from the Parse defaults), and one
+// formatting pass must canonicalize: spec -> value -> spec is stable.
 func FuzzParseWorkload(f *testing.F) {
 	for _, s := range []string{
 		"triad:18",
 		"triad:3x6:ws=1.2e9:msg=2000000",
+		"triad:6:steps=9:ws=2.4e9:msg=1000",
 		"lbm:100:cells=302:steps=50",
 		"lbm:4x4",
 		"divide:16:phase=3ms",
+		"divide:5:steps=40:phase=750us",
 		"bulk:64:texec=3ms:bytes=8192",
 		"bulk:32x32:periodic",
 		"bulk:18:d=2:uni:periodic",
 		"bulk:4x4x4:steps=7",
+		"bulk:24:steps=26:texec=5ms:bytes=4096",
 		"", "triad", "triad:2", "lbm:0", "walk:8", "bulk:8:texec=-1ms",
 		"divide:9:phase=never", "triad:18:cells=10",
 	} {
@@ -37,6 +39,9 @@ func FuzzParseWorkload(f *testing.F) {
 		back, err := Parse(spec)
 		if err != nil {
 			t.Fatalf("Parse(%q) accepted but its String %q does not re-parse: %v", s, spec, err)
+		}
+		if !reflect.DeepEqual(back, wl) {
+			t.Fatalf("round trip not value-exact: Parse(%q) = %#v, re-parsing its String %q = %#v", s, wl, spec, back)
 		}
 		if got := fmt.Sprint(back); got != spec {
 			t.Fatalf("String not a fixed point: Parse(%q).String() = %q, re-parsed renders %q", s, spec, got)

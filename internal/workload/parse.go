@@ -14,6 +14,34 @@ import (
 // nor the caller's Defaults provide one.
 const DefaultSteps = 24
 
+// Parse defaults for the per-kind numeric options, shared with the
+// String renderers: a label omits exactly the values Parse would fill
+// back in, so String output re-parses to an equal value.
+const (
+	defaultTriadWorkingSet   = 1.2e9     // paper V_mem
+	defaultTriadMessageBytes = 2_000_000 // paper V_net
+	defaultLBMCells          = 302
+	defaultBulkBytes         = 8192
+)
+
+var (
+	defaultDividePhase = sim.Milli(3)
+	defaultBulkTexec   = sim.Milli(3)
+)
+
+// stepsLabel renders a ":steps=" option when the count differs from the
+// Parse default (zero or negative counts have no spelling).
+func stepsLabel(steps int) string {
+	if steps <= 0 || steps == DefaultSteps {
+		return ""
+	}
+	return fmt.Sprintf(":steps=%d", steps)
+}
+
+// formatFloatOption renders a float option value in the shortest
+// spelling that re-parses exactly ("1.5e+09").
+func formatFloatOption(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
 // Defaults supplies values for parameters a workload spec leaves out.
 type Defaults struct {
 	// Steps is the step count applied when the spec has no steps=
@@ -90,7 +118,7 @@ func ParseWith(s string, def Defaults) (Workload, error) {
 	var wl Workload
 	switch kind {
 	case "triad":
-		t := StreamTriad{Ranks: ranks, Steps: steps, WorkingSet: 1.2e9, MessageBytes: 2_000_000, Topo: topo}
+		t := StreamTriad{Ranks: ranks, Steps: steps, WorkingSet: defaultTriadWorkingSet, MessageBytes: defaultTriadMessageBytes, Topo: topo}
 		if v, ok := opts["ws"]; ok {
 			t.WorkingSet, err = parsePositiveFloat(v, "ws")
 			if err != nil {
@@ -107,7 +135,7 @@ func ParseWith(s string, def Defaults) (Workload, error) {
 		}
 		wl = t
 	case "lbm":
-		l := LBM{Ranks: ranks, Steps: steps, CellsPerDim: 302, Topo: topo}
+		l := LBM{Ranks: ranks, Steps: steps, CellsPerDim: defaultLBMCells, Topo: topo}
 		if v, ok := opts["cells"]; ok {
 			l.CellsPerDim, err = parsePositiveInt(v, "cells")
 			if err != nil {
@@ -117,7 +145,7 @@ func ParseWith(s string, def Defaults) (Workload, error) {
 		}
 		wl = l
 	case "divide":
-		d := DivideKernel{Ranks: ranks, Steps: steps, PhaseTime: sim.Milli(3), Topo: topo}
+		d := DivideKernel{Ranks: ranks, Steps: steps, PhaseTime: defaultDividePhase, Topo: topo}
 		if v, ok := opts["phase"]; ok {
 			d.PhaseTime, err = parseDuration(v, "phase")
 			if err != nil {
@@ -139,7 +167,7 @@ func ParseWith(s string, def Defaults) (Workload, error) {
 // parseBulk builds a BulkSync from "bulk:<shape>[:options]": the shape
 // plus non-workload options form a chain/grid topology spec.
 func parseBulk(orig, shape string, opts []string, def Defaults) (Workload, error) {
-	b := BulkSync{Steps: def.Steps, Texec: sim.Milli(3), Bytes: 8192}
+	b := BulkSync{Steps: def.Steps, Texec: defaultBulkTexec, Bytes: defaultBulkBytes}
 	var topoOpts []string
 	for _, opt := range opts {
 		k, v, err := splitOption(opt)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -127,7 +128,15 @@ func TestParseRejectsMalformedSpecs(t *testing.T) {
 }
 
 func TestStringRoundTripsThroughParse(t *testing.T) {
-	for _, spec := range []string{"triad:18", "divide:16", "lbm:10:cells=302", "lbm:4x4:cells=50", "triad:3x6"} {
+	for _, spec := range []string{
+		"triad:18", "divide:16", "lbm:10:cells=302", "lbm:4x4:cells=50", "triad:3x6",
+		// Non-default numeric options must survive the round trip too.
+		"triad:6:steps=9:ws=2.4e9:msg=1000",
+		"divide:5:steps=40:phase=750us",
+		"lbm:8:steps=11:cells=64",
+		"bulk:24:steps=26:texec=5ms:bytes=4096",
+		"bulk:5x5:d=2:periodic:steps=7",
+	} {
 		wl, err := Parse(spec)
 		if err != nil {
 			t.Fatal(err)
@@ -141,8 +150,33 @@ func TestStringRoundTripsThroughParse(t *testing.T) {
 			t.Errorf("String() %q of %q does not re-parse: %v", s, spec, err)
 			continue
 		}
+		if !reflect.DeepEqual(back, wl) {
+			t.Errorf("round trip of %q not value-exact: %#v vs %#v", spec, wl, back)
+		}
 		if back.(interface{ String() string }).String() != s {
 			t.Errorf("re-parse of %q changed the label to %q", s, back)
+		}
+	}
+}
+
+// TestStringRendersNonDefaultOptions pins the exact labels: defaults
+// are omitted, everything else is spelled out in the Parse syntax.
+func TestStringRendersNonDefaultOptions(t *testing.T) {
+	for spec, want := range map[string]string{
+		"triad:18":                          "triad:18",
+		"triad:18:ws=1.2e9:msg=2000000":     "triad:18", // explicit defaults fold away
+		"triad:6:steps=9:ws=2.4e9:msg=1000": "triad:6:steps=9:ws=2.4e+09:msg=1000",
+		"divide:5:steps=40:phase=750us":     "divide:5:steps=40:phase=750µs",
+		"lbm:8:steps=11":                    "lbm:8:steps=11:cells=302",
+		"bulk:24:steps=26":                  "bulk:24:steps=26",
+		"bulk:12:texec=5ms:bytes=4096":      "bulk:12:texec=5ms:bytes=4096",
+	} {
+		wl, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := wl.(interface{ String() string }).String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", spec, got, want)
 		}
 	}
 }

@@ -176,10 +176,14 @@ func (b BulkSync) WithInjections(inj ...noise.Injection) Workload {
 }
 
 // String renders the workload in the Parse flag syntax
-// ("bulk:18:periodic", "bulk:4x4:d=2"): the topology's own spec with
-// its kind prefix folded into the bulk shape segment, so the label
-// re-parses. A torus prefix becomes an explicit periodic option, since
-// the bulk shape grammar only distinguishes chain from grid by shape.
+// ("bulk:18:periodic", "bulk:4x4:d=2:steps=50"): the topology's own
+// spec with its kind prefix folded into the bulk shape segment, so the
+// label re-parses. A torus prefix becomes an explicit periodic option,
+// since the bulk shape grammar only distinguishes chain from grid by
+// shape. Numeric options are rendered whenever they differ from the
+// Parse defaults, so the label carries the full parameterization back
+// through Parse; only purely programmatic state (MemBytes, Injections)
+// has no spelling.
 func (b BulkSync) String() string {
 	if b.Topo == nil {
 		return "bulk"
@@ -189,6 +193,13 @@ func (b BulkSync) String() string {
 	s := "bulk:" + rest
 	if kind == "torus" {
 		s += ":periodic"
+	}
+	s += stepsLabel(b.Steps)
+	if b.Texec > 0 && b.Texec != defaultBulkTexec {
+		s += ":texec=" + sim.FormatDuration(b.Texec)
+	}
+	if b.Bytes > 0 && b.Bytes != defaultBulkBytes {
+		s += fmt.Sprintf(":bytes=%d", b.Bytes)
 	}
 	return s
 }
@@ -315,8 +326,20 @@ func (s StreamTriad) WithInjections(inj ...noise.Injection) Workload {
 	return s
 }
 
-// String renders the workload in the flag syntax ("triad:<shape>").
-func (s StreamTriad) String() string { return "triad:" + shapeLabel(s.Topo, s.Ranks) }
+// String renders the workload in the flag syntax
+// ("triad:<shape>[:steps=][:ws=][:msg=]"), including every numeric
+// option that differs from the Parse defaults so the label re-parses
+// to an equal value.
+func (s StreamTriad) String() string {
+	out := "triad:" + shapeLabel(s.Topo, s.Ranks) + stepsLabel(s.Steps)
+	if s.WorkingSet > 0 && s.WorkingSet != defaultTriadWorkingSet {
+		out += ":ws=" + formatFloatOption(s.WorkingSet)
+	}
+	if s.MessageBytes > 0 && s.MessageBytes != defaultTriadMessageBytes {
+		out += fmt.Sprintf(":msg=%d", s.MessageBytes)
+	}
+	return out
+}
 
 // Programs builds the triad programs, on a closed ring unless Topo
 // overrides the decomposition.
@@ -493,9 +516,12 @@ func (l LBM) WithInjections(inj ...noise.Injection) Workload {
 	return l
 }
 
-// String renders the workload in the flag syntax ("lbm:<shape>:cells=<n>").
+// String renders the workload in the flag syntax
+// ("lbm:<shape>[:steps=]:cells=<n>"), including the step count when it
+// differs from the Parse default so the label re-parses to an equal
+// value.
 func (l LBM) String() string {
-	return fmt.Sprintf("lbm:%s:cells=%d", shapeLabel(l.Topo, l.Ranks), l.CellsPerDim)
+	return fmt.Sprintf("lbm:%s%s:cells=%d", shapeLabel(l.Topo, l.Ranks), stepsLabel(l.Steps), l.CellsPerDim)
 }
 
 // Programs builds the LBM programs, on a closed ring unless Topo
@@ -589,8 +615,17 @@ func (d DivideKernel) WithInjections(inj ...noise.Injection) Workload {
 	return d
 }
 
-// String renders the workload in the flag syntax ("divide:<shape>").
-func (d DivideKernel) String() string { return "divide:" + shapeLabel(d.Topo, d.Ranks) }
+// String renders the workload in the flag syntax
+// ("divide:<shape>[:steps=][:phase=]"), including every numeric option
+// that differs from the Parse defaults so the label re-parses to an
+// equal value.
+func (d DivideKernel) String() string {
+	out := "divide:" + shapeLabel(d.Topo, d.Ranks) + stepsLabel(d.Steps)
+	if d.PhaseTime > 0 && d.PhaseTime != defaultDividePhase {
+		out += ":phase=" + sim.FormatDuration(d.PhaseTime)
+	}
+	return out
+}
 
 // Programs builds the divide-kernel programs with minimal messages, on
 // an open bidirectional chain unless Topo overrides the pattern.

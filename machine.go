@@ -134,3 +134,9 @@ func CombineNoise(parts ...NoiseProfile) NoiseProfile { return noise.CombineNois
 // result renders the syntax back. See cmd/idlewave -noise and cmd/sweep
 // -noise.
 func ParseNoise(s string) (NoiseProfile, error) { return noise.Parse(s) }
+
+// ParseNetModel builds a communication cost model from the flag syntax
+// the model String() methods render ("hockney:lat=2us:bw=3GB/s:eager=131072",
+// "loggops:lat=5us:o=400ns/600ns:bw=inf"). Hierarchical models need a
+// topology locator and have no flat spelling; use NewHierarchical.
+func ParseNetModel(s string) (NetModel, error) { return netmodel.Parse(s) }
