@@ -39,6 +39,13 @@ type Case struct {
 	// the active state, not the rank count" into a regression test.
 	MemRefCase    string
 	MaxBytesRatio float64
+	// TimeRefCase and MaxNsRatio declare the analogous cross-case time
+	// bound: this case's ns/op must stay below MaxNsRatio times the
+	// ns/op of the named reference case, measured in the same run. The
+	// journal-overhead bound rides on this: the journaled replay case
+	// must stay within 10% of the unjournaled one.
+	TimeRefCase string
+	MaxNsRatio  float64
 	// NumShards is the parallel-DES shard count the case runs with
 	// (0 = serial engine). cmd/bench records it per entry and its -gate
 	// only compares entries with equal shard counts, so scaling numbers
@@ -69,6 +76,14 @@ func Suite() []Case {
 		},
 		{Name: "SweepReplayUncached", Detail: "sweep service cold path: submit a 4-point spec to a fresh manager", F: SweepReplayUncached},
 		{Name: "SweepReplayCached", Detail: "sweep service replay: byte-identical spec answered from the content-addressed cache", F: SweepReplayCached},
+		{Name: "SweepJournalOff", Detail: "journal-overhead pair, off half: 36-point sweep on a single-worker manager, no journal", F: SweepJournalOff},
+		{
+			Name:        "SweepJournalOn",
+			Detail:      "journal-overhead pair, on half: same sweep with the durable job journal (fsync'd submit/terminal, async point rows)",
+			TimeRefCase: "SweepJournalOff",
+			MaxNsRatio:  1.10,
+			F:           SweepJournalOn,
+		},
 	}
 	shardCounts := []int{1, 2, 4}
 	if n := runtime.NumCPU(); n > 4 {

@@ -21,6 +21,8 @@ func BenchmarkChainWave100k(b *testing.B)  { ChainWave100k(b) }
 
 func BenchmarkSweepReplayUncached(b *testing.B) { SweepReplayUncached(b) }
 func BenchmarkSweepReplayCached(b *testing.B)   { SweepReplayCached(b) }
+func BenchmarkSweepJournalOff(b *testing.B)     { SweepJournalOff(b) }
+func BenchmarkSweepJournalOn(b *testing.B)      { SweepJournalOn(b) }
 
 // BenchmarkSuiteShards runs every shard-scaling suite case as a
 // sub-benchmark named after the case.
@@ -39,7 +41,8 @@ func BenchmarkSuiteShards(b *testing.B) {
 // count, so it is checked structurally.
 func TestSuiteNamesMatchWrappers(t *testing.T) {
 	want := []string{"EngineSchedule", "ChainWave1D", "Torus2D", "LBMMemBound", "NoiseSweep",
-		"ChainWave1k", "ChainWave100k", "SweepReplayUncached", "SweepReplayCached"}
+		"ChainWave1k", "ChainWave100k", "SweepReplayUncached", "SweepReplayCached",
+		"SweepJournalOff", "SweepJournalOn"}
 	suite := Suite()
 	if len(suite) < len(want) {
 		t.Fatalf("suite has %d cases, want at least %d", len(suite), len(want))
@@ -68,7 +71,7 @@ func TestSuiteNamesMatchWrappers(t *testing.T) {
 }
 
 // TestMemBoundsReferenceSuiteCases checks every declared cross-case
-// memory bound names a case that exists in the suite.
+// memory or time bound names a case that exists in the suite.
 func TestMemBoundsReferenceSuiteCases(t *testing.T) {
 	names := make(map[string]bool)
 	for _, c := range Suite() {
@@ -79,13 +82,25 @@ func TestMemBoundsReferenceSuiteCases(t *testing.T) {
 			if c.MaxBytesRatio != 0 {
 				t.Errorf("case %q sets MaxBytesRatio without MemRefCase", c.Name)
 			}
-			continue
+		} else {
+			if !names[c.MemRefCase] {
+				t.Errorf("case %q references unknown memory-reference case %q", c.Name, c.MemRefCase)
+			}
+			if c.MaxBytesRatio <= 0 {
+				t.Errorf("case %q sets MemRefCase without a positive MaxBytesRatio", c.Name)
+			}
 		}
-		if !names[c.MemRefCase] {
-			t.Errorf("case %q references unknown memory-reference case %q", c.Name, c.MemRefCase)
-		}
-		if c.MaxBytesRatio <= 0 {
-			t.Errorf("case %q sets MemRefCase without a positive MaxBytesRatio", c.Name)
+		if c.TimeRefCase == "" {
+			if c.MaxNsRatio != 0 {
+				t.Errorf("case %q sets MaxNsRatio without TimeRefCase", c.Name)
+			}
+		} else {
+			if !names[c.TimeRefCase] {
+				t.Errorf("case %q references unknown time-reference case %q", c.Name, c.TimeRefCase)
+			}
+			if c.MaxNsRatio <= 0 {
+				t.Errorf("case %q sets TimeRefCase without a positive MaxNsRatio", c.Name)
+			}
 		}
 	}
 }

@@ -17,9 +17,11 @@
 // allocs/op) under "vs_baseline", giving PRs a perf trajectory to quote.
 // With -gate, the command exits non-zero when any case's ns/op or
 // bytes/op exceeds the baseline by more than the given ratio, or when a
-// case breaks the cross-case memory-scaling bound its suite entry
-// declares (Case.MemRefCase/MaxBytesRatio) — the report is still written
-// first, so CI artifacts carry the regressing numbers. Only entries with
+// case breaks a cross-case bound its suite entry declares — the
+// memory-scaling bound (Case.MemRefCase/MaxBytesRatio) or the same-run
+// time bound (Case.TimeRefCase/MaxNsRatio, e.g. journaled sweep replay
+// within 10% of unjournaled) — the report is still written first, so CI
+// artifacts carry the regressing numbers. Only entries with
 // equal num_shards are ever compared, and cases excluded by -run are
 // exempt from the missing-baseline-case check. With -max-rss, the
 // process's peak resident set (Linux VmHWM; monotonic across the run)
@@ -247,6 +249,34 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: %.0f B/op, %.2fx the baseline's %.0f B/op (gate %.2fx)\n",
 					c.Name, c.BytesPerOp, c.BytesPerOp/b.BytesPerOp, b.BytesPerOp, *gate)
 				failed = true
+			}
+		}
+		// Cross-case time bounds declared by the suite (e.g. the
+		// journaled sweep-replay case must stay within 10% of the
+		// unjournaled one). Measured in the same run on the same machine,
+		// so the ratio cancels out host speed.
+		for _, sc := range bench.Suite() {
+			if sc.TimeRefCase == "" || sc.MaxNsRatio <= 0 {
+				continue
+			}
+			c, okC := current[sc.Name]
+			ref, okR := current[sc.TimeRefCase]
+			if !okC || !okR {
+				continue // not part of this (filtered) run
+			}
+			if ref.NsPerOp <= 0 {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: time reference %s reports no ns/op to bound against\n",
+					sc.Name, sc.TimeRefCase)
+				failed = true
+				continue
+			}
+			if ratio := c.NsPerOp / ref.NsPerOp; ratio > sc.MaxNsRatio {
+				fmt.Fprintf(os.Stderr, "bench: GATE FAIL %s: %.0f ns/op is %.2fx %s's %.0f ns/op (bound %.2fx)\n",
+					sc.Name, c.NsPerOp, ratio, sc.TimeRefCase, ref.NsPerOp, sc.MaxNsRatio)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "bench: time bound ok: %s at %.2fx of %s (bound %.2fx)\n",
+					sc.Name, ratio, sc.TimeRefCase, sc.MaxNsRatio)
 			}
 		}
 		// Cross-case memory-scaling bounds declared by the suite itself

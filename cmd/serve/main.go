@@ -5,10 +5,19 @@
 // already ran returns its results instantly, byte-identical to the
 // first run and to cmd/sweep on equivalent flags.
 //
+// With -journal the service is durable: every submission, completed
+// point row and terminal state is appended to a write-ahead log, and a
+// restart (including a crash or kill -9) replays the log, re-settles
+// finished jobs and resumes interrupted ones — re-executing only the
+// points the log does not cover, with the final table byte-identical
+// to an uninterrupted run. While the replay is in progress the server
+// answers /v1/readyz with 503 and rejects submissions.
+//
 // Usage:
 //
 //	serve -addr :8177
 //	serve -addr 127.0.0.1:0 -jobs 4 -max-points 10000
+//	serve -journal /var/lib/idlewave -deadline 10m -mem-budget 2147483648
 //
 // API (see internal/serve for the handler semantics):
 //
@@ -18,10 +27,13 @@
 //	DELETE /v1/sweeps/{id}        cancel
 //	GET    /v1/sweeps/{id}/stream per-point NDJSON (SSE with Accept: text/event-stream)
 //	GET    /v1/healthz            liveness
-//	GET    /v1/stats              cache hit rates, job counts, points/sec
+//	GET    /v1/readyz             readiness (503 while replaying the journal)
+//	GET    /v1/stats              cache hit rates, job counts, points/sec, recovery counters
 //
 // The resolved listen address is printed on startup (useful with
-// ":0"); SIGINT/SIGTERM drain in-flight jobs and exit.
+// ":0"); SIGINT/SIGTERM drain in-flight jobs for -shutdown-grace and
+// exit. Jobs still running at shutdown are left open in the journal on
+// purpose: the next start resumes them.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/serve"
 )
 
@@ -47,33 +60,77 @@ func main() {
 		jobWorkers = flag.Int("workers-per-job", 0, "worker pool cap per job (0 = all cores)")
 		cacheSw    = flag.Int("cache-sweeps", 64, "whole-sweep result cache entries")
 		cachePt    = flag.Int("cache-points", 4096, "per-point result cache entries")
+
+		journalDir  = flag.String("journal", "", "journal directory for durable jobs + crash recovery (empty = in-memory only)")
+		journalSync = flag.Bool("journal-sync", false, "fsync every point row, not just submissions and terminal states (safer, slower)")
+		deadline    = flag.Duration("deadline", 0, "default per-job wall-clock deadline (0 = unbounded)")
+		maxDeadline = flag.Duration("max-deadline", 0, "clamp on spec-requested deadlines (0 = no clamp)")
+		memBudget   = flag.Int64("mem-budget", 0, "estimated-bytes budget for live jobs; submissions over it get 429 (0 = unlimited)")
+		retries     = flag.Int("retries", 3, "per-point retry budget for transient failures")
+		grace       = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight connections on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	if err := run(*addr, serve.Config{
-		MaxJobs:       *jobs,
-		MaxPoints:     *maxPoints,
-		WorkersPerJob: *jobWorkers,
-		SweepCache:    *cacheSw,
-		PointCache:    *cachePt,
+	if err := run(*addr, *journalDir, *journalSync, *grace, serve.Config{
+		MaxJobs:         *jobs,
+		MaxPoints:       *maxPoints,
+		WorkersPerJob:   *jobWorkers,
+		SweepCache:      *cacheSw,
+		PointCache:      *cachePt,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MemBudget:       *memBudget,
+		MaxRetries:      *retries,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config) error {
+func run(addr, journalDir string, journalSync bool, grace time.Duration, cfg serve.Config) error {
+	var (
+		jnl  *journal.Journal
+		recs []journal.Record
+	)
+	if journalDir != "" {
+		var err error
+		jnl, recs, err = journal.Open(journalDir, journal.Options{SyncPoints: journalSync})
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
+	}
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	m := serve.NewManager(cfg)
-	srv := &http.Server{Handler: serve.Handler(m)}
+	srv := &http.Server{
+		Handler: serve.Handler(m),
+		// Slow-loris hardening: a client that trickles its headers or
+		// parks an idle keep-alive connection cannot pin a goroutine
+		// forever. Read/write of a streaming response stays unbounded —
+		// the NDJSON stream legitimately lives as long as its job.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	fmt.Printf("serve: listening on %s\n", ln.Addr())
 
+	// Listen before recovering: probes and dashboards get liveness (and
+	// an honest not-ready) during a long replay instead of connection
+	// refused.
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
+
+	if jnl != nil {
+		if err := m.Recover(recs); err != nil {
+			return fmt.Errorf("journal replay: %w", err)
+		}
+		fmt.Printf("serve: journal %s replayed, %d records\n", journalDir, len(recs))
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -86,7 +143,9 @@ func run(addr string, cfg serve.Config) error {
 		fmt.Printf("serve: %s, shutting down\n", sig)
 	}
 	// Stop accepting connections first, then drain the job manager.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Interrupted jobs get no terminal journal record — the next start
+	// resumes them.
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		m.Close()

@@ -1,0 +1,138 @@
+// Package chaos is the sweep service's deterministic fault-injection
+// harness. An Injector decides — from a seed and a stable identity,
+// never from wall-clock time or scheduling order — whether a given
+// piece of work panics, stalls, fails transiently, or whether a given
+// journal append returns an I/O error. Because every decision is a
+// pure function of (seed, identity), a chaos test run is reproducible:
+// the same seed injects the same faults into the same points at any
+// worker count, on any machine, which is what lets the chaos suite
+// assert that every recovery path converges to the byte-identical
+// result table rather than merely "usually survives".
+//
+// The zero/nil Injector is a no-op: every method on a nil receiver
+// reports no fault, so production code threads an *Injector through
+// unconditionally and pays one nil check per decision.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Config sets per-decision fault probabilities. All probabilities are
+// in [0, 1]; zero disables that fault class.
+type Config struct {
+	// PanicProb is the probability a point attempt panics.
+	PanicProb float64
+	// ErrorProb is the probability a point attempt returns an injected
+	// transient error.
+	ErrorProb float64
+	// DelayProb is the probability a point attempt is stalled by a
+	// deterministic delay in (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds injected delays. Defaults to 10ms when DelayProb
+	// is set and MaxDelay is zero.
+	MaxDelay time.Duration
+	// JournalErrProb is the probability a journal append fails with an
+	// injected I/O error.
+	JournalErrProb float64
+	// MaxFaultAttempts bounds how many attempts of the same point may
+	// fault: attempts numbered >= MaxFaultAttempts never draw a panic,
+	// error or delay, so a bounded retry loop is guaranteed to converge
+	// no matter how hostile the probabilities are. Defaults to 2.
+	MaxFaultAttempts int
+}
+
+// Injector draws deterministic fault decisions. Safe for concurrent
+// use: it holds no mutable state.
+type Injector struct {
+	seed uint64
+	cfg  Config
+}
+
+// New builds an injector for the given seed. A nil return is never
+// needed — pass a nil *Injector where chaos is off.
+func New(seed uint64, cfg Config) *Injector {
+	if cfg.DelayProb > 0 && cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	if cfg.MaxFaultAttempts == 0 {
+		cfg.MaxFaultAttempts = 2
+	}
+	return &Injector{seed: seed, cfg: cfg}
+}
+
+// Fault is one point-attempt decision. At most one of Panic/Err is
+// set; Delay may accompany either or stand alone.
+type Fault struct {
+	// Panic asks the caller to panic with Msg.
+	Panic bool
+	// Err is a transient injected error, nil when no error fires.
+	Err error
+	// Delay is an injected stall, zero when none fires.
+	Delay time.Duration
+	// Msg carries the panic message.
+	Msg string
+}
+
+// Error is the injected transient failure type. The sweep service's
+// retry classifier treats anything with a true Transient() as
+// retryable.
+type Error struct{ What string }
+
+func (e *Error) Error() string   { return "chaos: injected " + e.What }
+func (e *Error) Transient() bool { return true }
+
+// Point draws the fault decision for one attempt of one grid point.
+// The identity is (spec hash, point index, attempt): stable across
+// processes and restarts, independent of job ids, worker counts and
+// finish order. Attempts at or beyond MaxFaultAttempts never fault.
+func (in *Injector) Point(specHash string, index, attempt int) Fault {
+	if in == nil || attempt >= in.cfg.MaxFaultAttempts {
+		return Fault{}
+	}
+	var f Fault
+	if in.draw(specHash, "delay", index, attempt) < in.cfg.DelayProb {
+		// Deterministic duration in (0, MaxDelay].
+		frac := in.draw(specHash, "delaydur", index, attempt)
+		f.Delay = time.Duration(frac*float64(in.cfg.MaxDelay-1)) + 1
+	}
+	switch {
+	case in.draw(specHash, "panic", index, attempt) < in.cfg.PanicProb:
+		f.Panic = true
+		f.Msg = fmt.Sprintf("chaos: injected panic (point %d, attempt %d)", index, attempt)
+	case in.draw(specHash, "error", index, attempt) < in.cfg.ErrorProb:
+		f.Err = &Error{What: fmt.Sprintf("transient fault (point %d, attempt %d)", index, attempt)}
+	}
+	return f
+}
+
+// JournalWrite draws the fault decision for the seq-th journal append.
+// Unlike Point it is keyed by the append sequence number alone — the
+// journal is a single serialized stream, so the sequence number is its
+// stable identity.
+func (in *Injector) JournalWrite(seq int) error {
+	if in == nil || in.cfg.JournalErrProb <= 0 {
+		return nil
+	}
+	if in.draw("journal", "write", seq, 0) < in.cfg.JournalErrProb {
+		return &Error{What: fmt.Sprintf("journal write error (seq %d)", seq)}
+	}
+	return nil
+}
+
+// draw maps (seed, key, class, a, b) to a uniform float64 in [0, 1).
+// FNV-1a mixes the identity, splitmix64 finalizes — cheap, stateless
+// and well-distributed enough for fault probabilities.
+func (in *Injector) draw(key, class string, a, b int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", key, class, a, b)
+	x := h.Sum64() ^ in.seed
+	// splitmix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

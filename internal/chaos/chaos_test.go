@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsNoOp: production threads a nil *Injector through
+// unconditionally; it must never fault.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if f := in.Point("h", i, 0); f.Panic || f.Err != nil || f.Delay != 0 {
+			t.Fatalf("nil injector faulted: %+v", f)
+		}
+	}
+	if err := in.JournalWrite(1); err != nil {
+		t.Fatalf("nil injector journal fault: %v", err)
+	}
+}
+
+// TestDeterminism: the same seed and identity always draw the same
+// fault, and different seeds draw (statistically) different ones.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{PanicProb: 0.2, ErrorProb: 0.2, DelayProb: 0.2, MaxDelay: 5 * time.Millisecond}
+	a := New(7, cfg)
+	b := New(7, cfg)
+	diffSeed := New(8, cfg)
+	sameAsOther := 0
+	for i := 0; i < 200; i++ {
+		for attempt := 0; attempt < 2; attempt++ {
+			fa, fb := a.Point("hash", i, attempt), b.Point("hash", i, attempt)
+			if fa != fb && (fa.Err == nil) != (fb.Err == nil) {
+				t.Fatalf("same seed diverged at (%d,%d): %+v vs %+v", i, attempt, fa, fb)
+			}
+			if fa.Panic != fb.Panic || fa.Delay != fb.Delay || (fa.Err == nil) != (fb.Err == nil) {
+				t.Fatalf("same seed diverged at (%d,%d): %+v vs %+v", i, attempt, fa, fb)
+			}
+			fc := diffSeed.Point("hash", i, attempt)
+			if fa.Panic == fc.Panic && fa.Delay == fc.Delay && (fa.Err == nil) == (fc.Err == nil) {
+				sameAsOther++
+			}
+		}
+	}
+	if sameAsOther == 400 {
+		t.Fatal("a different seed drew identical faults on every decision")
+	}
+}
+
+// TestConvergenceBound: attempts at or beyond MaxFaultAttempts never
+// fault, so retries always converge.
+func TestConvergenceBound(t *testing.T) {
+	in := New(1, Config{PanicProb: 1, ErrorProb: 1, DelayProb: 1, MaxFaultAttempts: 3})
+	for i := 0; i < 50; i++ {
+		if f := in.Point("h", i, 2); !f.Panic {
+			t.Fatalf("attempt below bound did not fault with prob 1: %+v", f)
+		}
+		if f := in.Point("h", i, 3); f.Panic || f.Err != nil || f.Delay != 0 {
+			t.Fatalf("attempt at bound faulted: %+v", f)
+		}
+	}
+}
+
+// TestRates: drawn fault rates track the configured probabilities on a
+// large sample — the hash is actually uniform, not clumped.
+func TestRates(t *testing.T) {
+	in := New(42, Config{ErrorProb: 0.3, MaxFaultAttempts: 1})
+	errs := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if f := in.Point("rates", i, 0); f.Err != nil {
+			errs++
+		}
+	}
+	rate := float64(errs) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("error rate %.3f, want ~0.30", rate)
+	}
+}
+
+// TestJournalWriteDeterminism: journal faults are a pure function of
+// the sequence number, and the error is transient-classified.
+func TestJournalWriteDeterminism(t *testing.T) {
+	a, b := New(5, Config{JournalErrProb: 0.5}), New(5, Config{JournalErrProb: 0.5})
+	faults := 0
+	for seq := 1; seq <= 100; seq++ {
+		ea, eb := a.JournalWrite(seq), b.JournalWrite(seq)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("journal draw diverged at seq %d", seq)
+		}
+		if ea != nil {
+			faults++
+			var ce *Error
+			if !errors.As(ea, &ce) || !ce.Transient() {
+				t.Fatalf("journal fault is not a transient chaos error: %v", ea)
+			}
+		}
+	}
+	if faults == 0 || faults == 100 {
+		t.Fatalf("journal fault count %d is degenerate at prob 0.5", faults)
+	}
+}
+
+// TestDelayBounds: injected delays stay in (0, MaxDelay].
+func TestDelayBounds(t *testing.T) {
+	max := 2 * time.Millisecond
+	in := New(9, Config{DelayProb: 1, MaxDelay: max, MaxFaultAttempts: 1})
+	for i := 0; i < 500; i++ {
+		f := in.Point("d", i, 0)
+		if f.Delay <= 0 || f.Delay > max {
+			t.Fatalf("delay %v out of (0, %v]", f.Delay, max)
+		}
+	}
+}

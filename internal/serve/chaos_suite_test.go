@@ -1,0 +1,195 @@
+//go:build chaos
+
+// The chaos suite (go test -race -tags chaos ./internal/serve/...)
+// turns every fault class on at once — panics, transient errors,
+// deterministic delays, journal I/O errors — across several seeds and
+// asserts the strong invariants, not "usually survives": every job
+// terminates in a defined state, completed tables are byte-identical
+// to a clean run, recovery from the battered journal converges, and no
+// goroutines leak.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	idlewave "repro"
+	"repro/internal/chaos"
+	"repro/internal/journal"
+	"repro/internal/spec"
+)
+
+// chaosSpec varies the seed so concurrent jobs are distinct work.
+func chaosSpec(seed uint64) spec.Sweep {
+	ws := testSpec()
+	ws.Base.Seed = seed
+	return ws
+}
+
+func directCSV(t *testing.T, ws spec.Sweep) []byte {
+	t.Helper()
+	ss, err := idlewave.SweepFromSpec(&ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := idlewave.Sweep(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosConvergence: with every fault class firing but bounded
+// (MaxFaultAttempts 2 < retry budget 4), every job must converge to
+// done with the byte-identical table, under -race, at several seeds
+// and with concurrent jobs contending for slots.
+func TestChaosConvergence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			leaked := checkGoroutines(t)
+			defer leaked()
+			in := chaos.New(seed, chaos.Config{
+				PanicProb: 0.2, ErrorProb: 0.2, DelayProb: 0.3,
+				MaxDelay: 3 * time.Millisecond, JournalErrProb: 0.2,
+				MaxFaultAttempts: 2,
+			})
+			jnl, recs, err := journal.Open(t.TempDir(), journal.Options{
+				SyncPoints: true, FailWrite: in.JournalWrite,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jnl.Close()
+			m := NewManager(Config{
+				Chaos: in, Journal: jnl, MaxJobs: 2, MaxRetries: 3,
+				RetryBase: time.Millisecond, RetryCap: 4 * time.Millisecond,
+				RetrySeed: seed,
+			})
+			if err := m.Recover(recs); err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			const jobs = 4
+			submitted := make([]*Job, jobs)
+			for g := 0; g < jobs; g++ {
+				job, err := m.Submit(chaosSpec(uint64(g + 1)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				submitted[g] = job
+			}
+			for g, job := range submitted {
+				got := waitJobCSV(t, job)
+				want := directCSV(t, chaosSpec(uint64(g+1)))
+				if !bytes.Equal(got, want) {
+					t.Errorf("job %s table diverged under chaos:\n%s\nvs\n%s", job.ID, got, want)
+				}
+				if len(job.FailedPoints()) != 0 {
+					t.Errorf("job %s has failed points despite bounded faults: %+v", job.ID, job.FailedPoints())
+				}
+			}
+			if m.pointsRetried.Load() == 0 {
+				t.Error("chaos run recorded zero retries — faults not reaching the retry loop")
+			}
+		})
+	}
+}
+
+// TestChaosDegradedIsDefined: with unbounded faults (MaxFaultAttempts
+// past the retry budget) every point fails permanently — the defined
+// degraded outcome, not a hang, not a crash, not an undefined state.
+func TestChaosDegradedIsDefined(t *testing.T) {
+	leaked := checkGoroutines(t)
+	defer leaked()
+	in := chaos.New(13, chaos.Config{PanicProb: 0.5, ErrorProb: 1, MaxFaultAttempts: 1 << 20})
+	m := NewManager(Config{
+		Chaos: in, MaxRetries: 1,
+		RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
+	})
+	defer m.Close()
+	job, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !settledState(job.State()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("degraded job did not settle (state %s)", job.State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := job.Status()
+	if st.State != StateDone || len(st.FailedPoints) != st.TotalPoints {
+		t.Fatalf("unbounded faults: %+v, want done with every point in failed_points", st)
+	}
+}
+
+// TestChaosRecoveryConverges: a journal written under journal-fault
+// injection may be missing point rows — recovery must still converge
+// to the byte-identical table, re-executing exactly the holes.
+func TestChaosRecoveryConverges(t *testing.T) {
+	leaked := checkGoroutines(t)
+	defer leaked()
+	in := chaos.New(99, chaos.Config{JournalErrProb: 0.5})
+	// Spare the submit append (seq 1): losing it makes the job a
+	// non-durable orphan by design — this test is about lost point rows.
+	failPoints := func(seq int) error {
+		if seq == 1 {
+			return nil
+		}
+		return in.JournalWrite(seq)
+	}
+	dir := t.TempDir()
+	jnl, recs, err := journal.Open(dir, journal.Options{SyncPoints: true, FailWrite: failPoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{Journal: jnl, WorkersPerJob: 1})
+	if err := m.Recover(recs); err != nil {
+		t.Fatal(err)
+	}
+	ws := chaosSpec(5)
+	job, err := m.Submit(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitJobCSV(t, job)
+	m.Close()
+	jnl.Close()
+
+	// Reopen the battered log (no fault injection this time) and strip
+	// the terminal record, simulating a crash just before it landed; the
+	// restarted manager must complete the job identically.
+	check, all, err := journal.Open(dir, journal.Options{SyncPoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	var crashed []journal.Record
+	for _, rec := range all {
+		if rec.Kind == journal.KindDone {
+			continue
+		}
+		crashed = append(crashed, rec)
+	}
+	m2 := NewManager(Config{WorkersPerJob: 1})
+	defer m2.Close()
+	if err := m2.Recover(crashed); err != nil {
+		t.Fatal(err)
+	}
+	job2, ok := m2.Get(job.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered from battered log", job.ID)
+	}
+	if got := waitJobCSV(t, job2); !bytes.Equal(got, want) {
+		t.Errorf("recovery from battered journal diverged:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -24,8 +24,18 @@ const maxSpecBytes = 1 << 20
 //	DELETE /v1/sweeps/{id}        cancel the job
 //	GET    /v1/sweeps/{id}/stream incremental per-point NDJSON (or SSE
 //	                              with Accept: text/event-stream)
-//	GET    /v1/healthz            liveness probe
+//	GET    /v1/healthz            liveness probe: 200 while the process
+//	                              serves HTTP at all
+//	GET    /v1/readyz             readiness probe: 503 while the journal
+//	                              is still replaying, 200 once Submit
+//	                              accepts work — load balancers gate on
+//	                              this one, orchestrators restart on the
+//	                              other
 //	GET    /v1/stats              cache hit rates, job counts, points/sec
+//
+// Submissions can also bounce with 429 (server-wide memory budget
+// exhausted) or 503 (journal replay in progress); both carry a
+// Retry-After header.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) { handleSubmit(m, w, r) })
@@ -35,6 +45,14 @@ func Handler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", func(w http.ResponseWriter, r *http.Request) { handleStream(m, w, r) })
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Ready() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "replaying journal"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Stats())
@@ -72,9 +90,16 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	job, err := m.Submit(*ws)
 	if err != nil {
 		var be *BudgetError
+		var busy *BusyError
 		switch {
 		case errors.As(err, &be):
 			writeError(w, http.StatusUnprocessableEntity, err)
+		case errors.As(err, &busy):
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(busy.RetryAfter.Seconds())))
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrNotReady):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusBadRequest, err)
 		}
@@ -226,7 +251,7 @@ func handleStream(m *Manager, w http.ResponseWriter, r *http.Request) {
 			}
 			sent++
 		}
-		if len(points) == 0 && (state == StateDone || state == StateFailed) {
+		if len(points) == 0 && settledState(state) {
 			emit(streamEnd{Done: true, State: state, Error: errMsg})
 			return
 		}

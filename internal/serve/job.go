@@ -9,14 +9,21 @@ import (
 	idlewave "repro"
 )
 
-// Job is one submitted sweep's lifecycle: queued → running → done, or
-// failed (spec errors never reach a job — Submit rejects them — so a
-// failed job means a simulation error or a cancellation). Points
-// accumulate in row-major grid order as the sweep progresses; waiters
-// block on a condition variable, which is what the streaming endpoint
-// hangs off.
+// Job is one submitted sweep's lifecycle: queued → running → done,
+// failed, or cancelled (spec errors never reach a job — Submit rejects
+// them — so a failed job means a deadline expiry or an internal error,
+// and a cancelled job means a client DELETE). Points accumulate in
+// row-major grid order as the sweep progresses; waiters block on a
+// condition variable, which is what the streaming endpoint hangs off.
+//
+// A job can settle *done* and still be degraded: points that failed
+// permanently (after their retry budget) are recorded in FailedPoints
+// and omitted from the table, so a single pathological point costs one
+// row, not the job.
 type Job struct {
-	// ID is the manager-assigned job identifier.
+	// ID is the manager-assigned job identifier. Recovered jobs keep
+	// the ID they were submitted under, so clients can re-poll across a
+	// server restart.
 	ID string
 	// Hash is the canonical spec content hash the result is cached
 	// under.
@@ -24,21 +31,54 @@ type Job struct {
 	// SpecJSON is the canonical encoding of the submitted spec.
 	SpecJSON []byte
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	state    State
-	cached   bool
-	errMsg   string
-	header   []string
-	total    int
-	points   []Point
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu           sync.Mutex
+	cond         *sync.Cond
+	state        State
+	cached       bool
+	recovered    bool
+	errMsg       string
+	header       []string
+	total        int
+	points       []Point
+	failedPoints []PointError
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+
+	// replay maps point indexes to rows recovered from the journal:
+	// the run loop answers these without re-executing, which is what
+	// makes restart-resume byte-identical AND cheap. replay is written
+	// once before the job runs and read concurrently by workers, so it
+	// is never mutated after start.
+	replay map[int]Point
+	// replayFailed maps point indexes to permanent failures recovered
+	// from the journal: resume reproduces the uninterrupted run's
+	// outcome, so a logged failure is replayed, not retried. Same
+	// write-once-before-start discipline as replay.
+	replayFailed map[int]PointError
+
+	// deadline is the job's wall-clock budget, armed when the job
+	// starts running; zero means unbounded.
+	deadline      time.Duration
+	deadlineTimer *time.Timer
+	deadlineHit   atomic.Bool
 
 	canceled   atomic.Bool
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
+
+	// estBytes is the manager's resource-model estimate charged against
+	// the server-wide memory budget while the job is live.
+	estBytes int64
+}
+
+// PointError is one permanently failed grid point: its row-major index,
+// the final error, and how many attempts were spent (1 initial try +
+// retries).
+type PointError struct {
+	Index    int    `json:"index"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts"`
 }
 
 func newJob(id, hash string, specJSON []byte, header []string, total int) *Job {
@@ -56,21 +96,34 @@ func newJob(id, hash string, specJSON []byte, header []string, total int) *Job {
 	return j
 }
 
-// Cancel requests the job stop: a queued job fails without running,
-// a running job stops at the next point boundary. Idempotent; no-op on
-// settled jobs.
+// Cancel requests the job stop: a queued job settles cancelled without
+// running, a running job stops at the next point boundary. Idempotent;
+// no-op on settled jobs.
 func (j *Job) Cancel() {
 	j.canceled.Store(true)
 	j.cancelOnce.Do(func() { close(j.cancelCh) })
 }
 
-// Canceled reports whether Cancel has been called.
+// Canceled reports whether the job has been asked to stop — by a
+// client cancel, a deadline expiry, or manager shutdown. Workers poll
+// it between points.
 func (j *Job) Canceled() bool { return j.canceled.Load() }
 
+// DeadlineExceeded reports whether the stop request came from the
+// job's wall-clock deadline.
+func (j *Job) DeadlineExceeded() bool { return j.deadlineHit.Load() }
+
+// start moves the job to running and arms its deadline, if any.
 func (j *Job) start() {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	if j.deadline > 0 {
+		j.deadlineTimer = time.AfterFunc(j.deadline, func() {
+			j.deadlineHit.Store(true)
+			j.Cancel()
+		})
+	}
 	j.mu.Unlock()
 	j.cond.Broadcast()
 }
@@ -82,24 +135,32 @@ func (j *Job) append(p Point) {
 	j.cond.Broadcast()
 }
 
-func (j *Job) finish() {
+func (j *Job) appendFailed(pe PointError) {
 	j.mu.Lock()
-	j.state = StateDone
-	j.finished = time.Now()
+	j.failedPoints = append(j.failedPoints, pe)
 	j.mu.Unlock()
 	j.cond.Broadcast()
 }
 
-func (j *Job) fail(msg string) {
+// settle moves the job to a terminal state, disarming the deadline
+// timer. It is idempotent: the first terminal state wins.
+func (j *Job) settle(s State, errMsg string) {
 	j.mu.Lock()
-	if j.state != StateDone && j.state != StateFailed {
-		j.state = StateFailed
-		j.errMsg = msg
+	if j.state != StateDone && j.state != StateFailed && j.state != StateCancelled {
+		j.state = s
+		j.errMsg = errMsg
 		j.finished = time.Now()
+		if j.deadlineTimer != nil {
+			j.deadlineTimer.Stop()
+		}
 	}
 	j.mu.Unlock()
 	j.cond.Broadcast()
 }
+
+func (j *Job) finish()           { j.settle(StateDone, "") }
+func (j *Job) fail(msg string)   { j.settle(StateFailed, msg) }
+func (j *Job) cancel(msg string) { j.settle(StateCancelled, msg) }
 
 // completeCached settles the job instantly from a whole-sweep cache
 // hit.
@@ -115,11 +176,32 @@ func (j *Job) completeCached(cs cachedSweep) {
 	j.cond.Broadcast()
 }
 
+// completeRecovered settles the job from journal replay: a job whose
+// terminal record is in the log re-materializes fully settled, points
+// and all, without executing anything.
+func (j *Job) completeRecovered(s State, errMsg string, points []Point, failed []PointError) {
+	j.mu.Lock()
+	j.state = s
+	j.recovered = true
+	j.errMsg = errMsg
+	j.points = points
+	j.failedPoints = failed
+	j.started = j.created
+	j.finished = j.created
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
 // State returns the current lifecycle state.
 func (j *Job) State() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// settledState reports whether s is terminal.
+func settledState(s State) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
 // Cached reports whether the job was answered from the whole-sweep
@@ -149,6 +231,19 @@ func (j *Job) PointsDone(from int) []Point {
 	return append([]Point(nil), j.points[from:]...)
 }
 
+// FailedPoints returns a copy of the permanently failed points.
+func (j *Job) FailedPoints() []PointError {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]PointError(nil), j.failedPoints...)
+}
+
+// replayPoint returns the journal-recovered row for index i, if any.
+func (j *Job) replayPoint(i int) (Point, bool) {
+	p, ok := j.replay[i]
+	return p, ok
+}
+
 // Wake broadcasts to WaitPoints waiters; external stop conditions
 // (a dropped streaming client) call it so their waiters re-check
 // stopped.
@@ -162,7 +257,7 @@ func (j *Job) Wake() { j.cond.Broadcast() }
 func (j *Job) WaitPoints(from int, stopped func() bool) ([]Point, State, string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	for len(j.points) <= from && j.state != StateDone && j.state != StateFailed {
+	for len(j.points) <= from && !settledState(j.state) {
 		if stopped != nil && stopped() {
 			break
 		}
@@ -177,16 +272,22 @@ func (j *Job) WaitPoints(from int, stopped func() bool) ([]Point, State, string)
 
 // Status is the JSON shape of a job in API responses.
 type Status struct {
-	ID          string    `json:"id"`
-	State       State     `json:"state"`
-	Cached      bool      `json:"cached"`
-	SpecHash    string    `json:"spec_hash"`
-	TotalPoints int       `json:"total_points"`
-	DonePoints  int       `json:"done_points"`
-	Error       string    `json:"error,omitempty"`
-	Created     time.Time `json:"created"`
-	Started     time.Time `json:"started,omitempty"`
-	Finished    time.Time `json:"finished,omitempty"`
+	ID     string `json:"id"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached"`
+	// Recovered flags a job re-materialized from the journal after a
+	// restart rather than submitted in this process's lifetime.
+	Recovered   bool   `json:"recovered,omitempty"`
+	SpecHash    string `json:"spec_hash"`
+	TotalPoints int    `json:"total_points"`
+	DonePoints  int    `json:"done_points"`
+	// FailedPoints lists grid points that failed permanently; a done
+	// job with entries here is a partial (degraded) table.
+	FailedPoints []PointError `json:"failed_points,omitempty"`
+	Error        string       `json:"error,omitempty"`
+	Created      time.Time    `json:"created"`
+	Started      time.Time    `json:"started,omitempty"`
+	Finished     time.Time    `json:"finished,omitempty"`
 }
 
 // Status snapshots the job for an API response.
@@ -194,22 +295,26 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Status{
-		ID:          j.ID,
-		State:       j.state,
-		Cached:      j.cached,
-		SpecHash:    j.Hash,
-		TotalPoints: j.total,
-		DonePoints:  len(j.points),
-		Error:       j.errMsg,
-		Created:     j.created,
-		Started:     j.started,
-		Finished:    j.finished,
+		ID:           j.ID,
+		State:        j.state,
+		Cached:       j.cached,
+		Recovered:    j.recovered,
+		SpecHash:     j.Hash,
+		TotalPoints:  j.total,
+		DonePoints:   len(j.points),
+		FailedPoints: append([]PointError(nil), j.failedPoints...),
+		Error:        j.errMsg,
+		Created:      j.created,
+		Started:      j.started,
+		Finished:     j.finished,
 	}
 }
 
 // Table renders the completed job as the public SweepTable, so the
 // HTTP layer emits results through exactly the writers cmd/sweep uses
 // — the byte-identity guarantee of the service rests on sharing them.
+// A degraded job renders its successful rows; FailedPoints carries the
+// holes.
 func (j *Job) Table() (*idlewave.SweepTable, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -218,7 +323,7 @@ func (j *Job) Table() (*idlewave.SweepTable, error) {
 	}
 	t := &idlewave.SweepTable{Header: append([]string(nil), j.header...)}
 	for _, p := range j.points {
-		t.Points = append(t.Points, idlewave.SweepPoint{Labels: p.Labels, Values: p.Values})
+		t.Points = append(t.Points, idlewave.SweepPoint{Labels: p.Labels, Values: []float64(p.Values)})
 	}
 	return t, nil
 }

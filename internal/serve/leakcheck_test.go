@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkGoroutines returns a cleanup-style function that asserts the
+// goroutine count settled back to (about) its value at call time. Call
+// it at the top of a test and defer the result AFTER deferring the
+// teardown it should observe (defers run LIFO, so the check fires
+// last... meaning it must be registered first):
+//
+//	leaked := checkGoroutines(t)
+//	defer leaked()
+//	m := NewManager(...)
+//	defer m.Close()
+//
+// The runtime gives no synchronous "goroutine exited" signal, so the
+// check polls with a settle loop rather than sampling once: finished
+// handlers and workers need a few scheduler beats to unwind. A small
+// slack absorbs runtime-internal goroutines (netpoller, timer
+// scavenger) that appear on first use and never exit.
+func checkGoroutines(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		const slack = 3
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after settle window\n%s", before, after, buf[:n])
+	}
+}

@@ -66,7 +66,7 @@ func waitDone(t *testing.T, srv *httptest.Server, id string) Status {
 		if err := json.Unmarshal(data, &st); err != nil {
 			t.Fatalf("poll: %v in %s", err, data)
 		}
-		if st.State == StateDone || st.State == StateFailed {
+		if settledState(st.State) {
 			return st
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -94,6 +94,8 @@ func getBody(t *testing.T, url string) (int, []byte) {
 // spec — the service adds transport and caching, never different
 // numbers.
 func TestServerEndToEnd(t *testing.T) {
+	leaked := checkGoroutines(t)
+	defer leaked()
 	m := NewManager(Config{})
 	defer m.Close()
 	srv := httptest.NewServer(Handler(m))
@@ -237,6 +239,8 @@ func TestServerPointCacheSharing(t *testing.T) {
 // and distinct specs from many goroutines; run under -race this is the
 // service's data-race canary.
 func TestServerConcurrentSubmissions(t *testing.T) {
+	leaked := checkGoroutines(t)
+	defer leaked()
 	m := NewManager(Config{MaxJobs: 3})
 	defer m.Close()
 	srv := httptest.NewServer(Handler(m))
@@ -349,6 +353,8 @@ func TestServerStreamWhileRunning(t *testing.T) {
 // The test occupies the single job slot itself, so the victim is
 // deterministically queued when the DELETE arrives.
 func TestServerCancel(t *testing.T) {
+	leaked := checkGoroutines(t)
+	defer leaked()
 	m := NewManager(Config{MaxJobs: 1, WorkersPerJob: 1})
 	defer m.Close()
 	srv := httptest.NewServer(Handler(m))
@@ -368,7 +374,7 @@ func TestServerCancel(t *testing.T) {
 	resp.Body.Close()
 	st := waitDone(t, srv, victimID)
 	<-m.sem // release the slot before asserting, so Close can drain
-	if st.State != StateFailed || st.Error != "canceled" {
+	if st.State != StateCancelled || st.Error != "canceled" {
 		t.Fatalf("canceled job settled as %+v", st)
 	}
 

@@ -103,6 +103,12 @@ type Sweep struct {
 	// results are byte-identical at any worker count, so Workers is
 	// excluded from the content hash.
 	Workers int `json:"workers,omitempty"`
+	// Deadline bounds the job's wall-clock run time when the sweep is
+	// executed by the sweep service ("2m30s"; empty uses the server's
+	// default, if any). Execution configuration only: a deadline changes
+	// whether a job finishes, never what a finished job computed, so it
+	// is excluded from the content hash like Workers and Shards.
+	Deadline string `json:"deadline,omitempty"`
 }
 
 // AxisKinds lists the axis kinds the public SweepFromSpec builder
@@ -182,6 +188,9 @@ func (s Sweep) Canonical() (Sweep, error) {
 	}
 	if s.Workers < 0 {
 		return Sweep{}, fmt.Errorf("spec: negative workers %d", s.Workers)
+	}
+	if out.Deadline, err = canonOptionalDuration(s.Deadline); err != nil {
+		return Sweep{}, fmt.Errorf("spec: deadline: %w", err)
 	}
 	return out, nil
 }
@@ -268,6 +277,7 @@ func (s Sweep) Hash() (string, error) {
 	}
 	c.Workers = 0
 	c.Base.Shards = 0
+	c.Deadline = ""
 	b, err := json.Marshal(c)
 	if err != nil {
 		return "", fmt.Errorf("spec: %w", err)
