@@ -74,6 +74,8 @@ func Suite() []Case {
 			MaxBytesRatio: 20,
 			F:             ChainWave100k,
 		},
+		{Name: "GenChain10k", Detail: "10k-rank stochastic generator: draw expansion + simulation with Poisson delay injection", F: GenChain10k},
+		{Name: "TraceReplay1k", Detail: "trace v2 record+replay pair: encode, decode, rebuild and re-simulate a 1000-rank recorded run", F: TraceReplay1k},
 		{Name: "SweepReplayUncached", Detail: "sweep service cold path: submit a 4-point spec to a fresh manager", F: SweepReplayUncached},
 		{Name: "SweepReplayCached", Detail: "sweep service replay: byte-identical spec answered from the content-addressed cache", F: SweepReplayCached},
 		{Name: "SweepJournalOff", Detail: "journal-overhead pair, off half: 36-point sweep on a single-worker manager, no journal", F: SweepJournalOff},

@@ -18,6 +18,8 @@ func BenchmarkLBMMemBound(b *testing.B)    { LBMMemBound(b) }
 func BenchmarkNoiseSweep(b *testing.B)     { NoiseSweep(b) }
 func BenchmarkChainWave1k(b *testing.B)    { ChainWave1k(b) }
 func BenchmarkChainWave100k(b *testing.B)  { ChainWave100k(b) }
+func BenchmarkGenChain10k(b *testing.B)    { GenChain10k(b) }
+func BenchmarkTraceReplay1k(b *testing.B)  { TraceReplay1k(b) }
 
 func BenchmarkSweepReplayUncached(b *testing.B) { SweepReplayUncached(b) }
 func BenchmarkSweepReplayCached(b *testing.B)   { SweepReplayCached(b) }
@@ -41,8 +43,8 @@ func BenchmarkSuiteShards(b *testing.B) {
 // count, so it is checked structurally.
 func TestSuiteNamesMatchWrappers(t *testing.T) {
 	want := []string{"EngineSchedule", "ChainWave1D", "Torus2D", "LBMMemBound", "NoiseSweep",
-		"ChainWave1k", "ChainWave100k", "SweepReplayUncached", "SweepReplayCached",
-		"SweepJournalOff", "SweepJournalOn"}
+		"ChainWave1k", "ChainWave100k", "GenChain10k", "TraceReplay1k",
+		"SweepReplayUncached", "SweepReplayCached", "SweepJournalOff", "SweepJournalOn"}
 	suite := Suite()
 	if len(suite) < len(want) {
 		t.Fatalf("suite has %d cases, want at least %d", len(suite), len(want))

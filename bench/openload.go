@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/genload"
+	"repro/internal/mpisim"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// genChain10k builds the open-system scaling workload: a 10^4-rank
+// stochastic generator with gamma phases and a Poisson-like background
+// delay-injection process, plus one deterministic center delay.
+func genChain10k() genload.GenWorkload {
+	return genload.GenWorkload{
+		Ranks: 10_000,
+		Steps: 12,
+		Phase: genload.Gamma{Shape: 2, Scale: sim.Milli(3) / 2},
+		Bytes: 8192,
+		Delay: genload.Exp{MeanTime: sim.Micro(500)},
+		Every: genload.Exp{MeanTime: sim.Milli(20)},
+		Seed:  7,
+		Injections: []noise.Injection{
+			{Rank: 5_000, Step: 2, Duration: sim.Milli(15)},
+		},
+	}
+}
+
+// GenChain10k measures the generator subsystem end to end at scale:
+// every iteration re-expands 10^4 ranks of stochastic draws (phase
+// times plus the delay-injection process) into programs and simulates
+// them — the open-system analogue of the ChainWave cases, with the
+// expansion cost deliberately inside the timed loop.
+func GenChain10k(b *testing.B) {
+	wl := genChain10k()
+	net := hockney(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		progs, err := wl.Programs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mpisim.Run(mpisim.Config{Ranks: wl.Ranks, Net: net, Trace: mpisim.TraceOff}, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// TraceReplay1k measures the record+replay pair on a 1000-rank run:
+// each iteration encodes the recorded matrices into the CRC-framed
+// trace v2 format, decodes them back, rebuilds the replay programs and
+// re-simulates — the full round trip a ScenarioSpec.RecordTo file
+// travels, minus the disk.
+func TraceReplay1k(b *testing.B) {
+	const ranks, steps = 1000, 24
+	src := genload.GenWorkload{
+		Ranks: ranks, Steps: steps,
+		Phase: genload.Gamma{Shape: 2, Scale: sim.Milli(3) / 2},
+		Bytes: 8192, Seed: 11,
+	}
+	progs, err := src.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := src.Topology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.Recorded{
+		Topology: topo.String(), Workload: src.String(), Seed: src.Seed,
+		Ranks: ranks, Steps: steps, Bytes: src.Bytes,
+		TexecNS: int64(float64(src.Phase.Mean()) * 1e9),
+		Exact:   true,
+		Exec:    make([][]float64, ranks),
+		Delay:   make([][]float64, ranks),
+		Noise:   make([][]float64, ranks),
+	}
+	for i, p := range progs {
+		rec.Exec[i] = make([]float64, steps)
+		rec.Delay[i] = make([]float64, steps)
+		rec.Noise[i] = make([]float64, steps)
+		for _, op := range p {
+			switch o := op.(type) {
+			case mpisim.Compute:
+				rec.Exec[i][o.Step] += float64(o.Duration)
+			case mpisim.Delay:
+				rec.Delay[i][o.Step] += float64(o.Duration)
+			}
+		}
+	}
+	net := hockney(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.WriteRecorded(&buf, rec); err != nil {
+			b.Fatal(err)
+		}
+		decoded, err := trace.ReadRecorded(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp := genload.Replay{Source: "bench", Data: &decoded}
+		replayProgs, err := rp.Programs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := mpisim.Run(mpisim.Config{Ranks: ranks, Net: net, Trace: mpisim.TraceOff}, replayProgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/op")
+}

@@ -27,9 +27,18 @@
 //
 // The -workload flag (triad:<shape>[:ws=..][:msg=..],
 // lbm:<shape>[:cells=..], divide:<shape>[:phase=..],
-// bulk:<shape>[:texec=..][:bytes=..][:topology opts]; <shape> is a rank
-// count or NxM torus extents) runs any of the paper's kernels through
+// bulk:<shape>[:texec=..][:bytes=..][:topology opts],
+// gen:<shape>[:phase=<dist>][:delay=<dist>:every=<dist>][:seed=..],
+// mix:<part>+<part>, replay:<trace file>; <shape> is a rank count or
+// NxM torus extents) runs any of the paper's kernels — or a stochastic
+// open-system generator, a multi-job mix, or a recorded trace — through
 // the same pipeline; -workload-topology rebinds its decomposition.
+// -record writes the executed per-rank timings to a trace v2 file that
+// replay:<file> reproduces byte-identically: a replay restores the
+// recorded machine, noise, seed and injections, so the flags a
+// recording fixes are rejected alongside it (a mix part
+// mix:replay/<file>+... composes a recorded job with live ones
+// instead).
 //
 // The -machine flag (emmy, meggie:noise=0,
 // custom:lat=1.2us:bw=6.8GB/s:eager=32768:cores=10x2) selects or builds
@@ -74,6 +83,7 @@ func main() {
 		delayDur = flag.Duration("delay", 15*time.Millisecond, "ad-hoc scenario: injected delay (0 = none)")
 		timeline = flag.Bool("timeline", false, "ad-hoc scenario: render the rank-over-time timeline")
 		shards   = flag.Int("shards", 0, "ad-hoc scenario: parallel-DES shard count (0 = serial; results are byte-identical at any count)")
+		record   = flag.String("record", "", "ad-hoc scenario: write the executed per-rank timings to this trace v2 file (replay with -workload replay:<file>)")
 		specFile = flag.String("spec", "", "run the base scenario of a declarative spec document (\"-\" = stdin); replaces the ad-hoc flags")
 	)
 	flag.Parse()
@@ -86,6 +96,7 @@ func main() {
 			"exp": true, "topology": true, "workload": true, "workload-topology": true,
 			"machine": true, "noise": true, "steps": true, "bytes": true, "E": true,
 			"delay-rank": true, "delay-step": true, "delay": true, "seed": true, "shards": true,
+			"record": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if super[f.Name] {
@@ -143,6 +154,30 @@ func main() {
 			}
 		})
 	}
+	if strings.HasPrefix(*wlSpec, "replay:") {
+		// A recorded trace fixes the whole scenario — machine, noise,
+		// seed, step count and the recorded injections. Re-running it
+		// under different flags would silently add to the recorded
+		// timings (the default -delay alone would shift every replay by
+		// 15ms), so explicit overrides are rejected rather than layered
+		// on top. To vary a recorded run, use it as a mix part or edit
+		// the scenario it was recorded from.
+		var conflict []string
+		super := map[string]bool{
+			"machine": true, "noise": true, "E": true, "steps": true,
+			"delay": true, "delay-rank": true, "delay-step": true,
+			"seed": true, "workload-topology": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if super[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "idlewave: -workload replay: restores the recorded scenario and replaces %s\n", strings.Join(conflict, ", "))
+			os.Exit(2)
+		}
+	}
 	if adhoc {
 		if err := runScenario(scenarioFlags{
 			topoSpec: *topoSpec, wlSpec: *wlSpec, wlTopo: *wlTopo,
@@ -150,6 +185,7 @@ func main() {
 			steps: *steps, bytes: *bytes,
 			delayAt: *delayAt, delayStep: *delaySt, delayDur: *delayDur,
 			noiseE: *noiseE, seed: *seed, timeline: *timeline, shards: *shards,
+			record: *record,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "idlewave: %v\n", err)
 			os.Exit(1)
@@ -184,13 +220,34 @@ type scenarioFlags struct {
 	seed                     uint64
 	timeline                 bool
 	shards                   int
+	record                   string
 }
 
 // runScenario simulates one ad-hoc scenario — a bulk-synchronous run on
 // the given topology, or any workload parsed from the -workload syntax —
 // and prints the tracked wave front.
 func runScenario(f scenarioFlags) error {
-	spec := idlewave.ScenarioSpec{NoiseLevel: f.noiseE, Seed: f.seed, Shards: f.shards}
+	if path, ok := strings.CutPrefix(f.wlSpec, "replay:"); ok {
+		// ReplayScenario restores the recorded machine (noise
+		// silenced), net model, seed and noise draws — the
+		// byte-identical replay path; main() already rejected the
+		// flags the recording supersedes.
+		spec, err := idlewave.ReplayScenario(path)
+		if err != nil {
+			return err
+		}
+		spec.Shards = f.shards
+		spec.RecordTo = f.record
+		res, err := idlewave.Simulate(spec)
+		if err != nil {
+			return err
+		}
+		if f.record != "" {
+			fmt.Printf("recorded  %s\n", f.record)
+		}
+		return report(spec, res, false, false, f.timeline)
+	}
+	spec := idlewave.ScenarioSpec{NoiseLevel: f.noiseE, Seed: f.seed, Shards: f.shards, RecordTo: f.record}
 	if f.machSpec != "" {
 		m, err := idlewave.ParseMachine(f.machSpec)
 		if err != nil {
@@ -239,6 +296,9 @@ func runScenario(f scenarioFlags) error {
 	res, err := idlewave.Simulate(spec)
 	if err != nil {
 		return err
+	}
+	if f.record != "" {
+		fmt.Printf("recorded  %s\n", f.record)
 	}
 	return report(spec, res, f.machSpec != "", f.noiseSpec != "", f.timeline)
 }

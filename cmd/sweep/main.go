@@ -32,9 +32,12 @@
 // The -workload flag takes comma-separated workload specs
 // (triad:<shape>[:ws=..][:msg=..], lbm:<shape>[:cells=..],
 // divide:<shape>[:phase=..], bulk:<shape>[:texec=..][:bytes=..][:topo
-// opts]; <shape> is a rank count or NxM torus extents) and sweeps them
-// as a workload axis, replacing the shape-and-kernel flags
-// (-ranks/-d/-dir/-periodic/-topology/-texec/-bytes).
+// opts], gen:<shape>[:phase=<dist>][:delay=<dist>:every=<dist>],
+// mix:<part>+<part>, replay:<trace file>; <shape> is a rank count or
+// NxM torus extents) and sweeps them as a workload axis, replacing the
+// shape-and-kernel flags (-ranks/-d/-dir/-periodic/-topology/-texec/
+// -bytes). Generator specs embed distributions with ':' spelled '/'
+// ("gen:64:phase=gamma/shape=2/scale=3ms").
 //
 // The -machine flag takes comma-separated machine specs in the
 // ParseMachine syntax — reference names ("emmy"), modified references

@@ -205,6 +205,18 @@ type ScenarioSpec struct {
 	// work only for these sources; under TraceFull the recorded trace
 	// serves every source and FrontSources is unnecessary.
 	FrontSources []int
+	// RecordTo, when non-empty, writes the executed run to that path as
+	// a versioned trace v2 file (CRC-framed binary): the per-(rank, step)
+	// execution-phase and injected-delay durations from the built
+	// programs, every noise draw the run consumed, and the scenario
+	// context (topology, machine, message size) replay needs.
+	// ReplayScenario turns the file back into a scenario whose
+	// re-simulation reproduces this run byte-identically (for
+	// compute-bound bulk-shaped workloads — BulkSync, GenWorkload,
+	// JobMix of those; other shapes record with Exact=false and replay
+	// approximately). Recording requires a workload with a re-parseable
+	// topology.
+	RecordTo string
 	// Shards requests conservative parallel execution of the simulation
 	// itself: the ranks are cut into that many contiguous partitions
 	// (chain segments, grid slabs), each driven by its own event engine
@@ -408,9 +420,18 @@ func Simulate(spec ScenarioSpec) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
 	}
-	res, trackers, err := spec.run(topo, progs)
+	var recorder *noiseRecorder
+	if spec.RecordTo != "" {
+		recorder = newNoiseRecorder(len(progs), programSteps(progs))
+	}
+	res, trackers, err := spec.run(topo, progs, recorder)
 	if err != nil {
 		return nil, fmt.Errorf("idlewave: %w", err)
+	}
+	if recorder != nil {
+		if err := writeRecording(spec, wl, topo, progs, res, recorder); err != nil {
+			return nil, fmt.Errorf("idlewave: recording to %s: %w", spec.RecordTo, err)
+		}
 	}
 	return &Result{Traces: res.Traces, End: float64(res.End), Events: res.Events,
 		spec: spec, topo: topo, workload: wl, streamFronts: trackers}, nil
@@ -424,8 +445,10 @@ func Simulate(spec ScenarioSpec) (*Result, error) {
 // A non-nil spec.NetModel replaces the machine-derived model; a non-nil
 // spec.Noise replaces the NoiseLevel-derived injected noise. The
 // FrontSources trackers (if any) observe the run's wait stream and come
-// back alongside the simulator result.
-func (s ScenarioSpec) run(topo Topology, progs []mpisim.Program) (*mpisim.Result, map[int]*wave.FrontTracker, error) {
+// back alongside the simulator result. A non-nil recorder interposes on
+// every injector (including the per-shard rebuilds) to capture the
+// run's noise draws for trace v2 recording.
+func (s ScenarioSpec) run(topo Topology, progs []mpisim.Program, recorder *noiseRecorder) (*mpisim.Result, map[int]*wave.FrontTracker, error) {
 	cfg := mpisim.Config{Ranks: len(progs), Trace: s.Trace}
 	texec := sim.Time(s.Texec.Seconds())
 	if memoryBound(progs) {
@@ -468,7 +491,7 @@ func (s ScenarioSpec) run(topo Topology, progs []mpisim.Program) (*mpisim.Result
 	} else {
 		injected = noise.Exponential(s.Seed+1, s.NoiseLevel, texec)
 	}
-	cfg.Noise = noise.Combine(natural, injected)
+	cfg.Noise = recorder.wrap(noise.Combine(natural, injected))
 	if s.Shards < 0 {
 		return nil, nil, fmt.Errorf("negative shard count %d", s.Shards)
 	}
@@ -493,7 +516,7 @@ func (s ScenarioSpec) run(topo Topology, progs []mpisim.Program) (*mpisim.Result
 			} else {
 				inj = noise.Exponential(s.Seed+1, s.NoiseLevel, texec)
 			}
-			return noise.Combine(nat, inj)
+			return recorder.wrap(noise.Combine(nat, inj))
 		}
 	}
 

@@ -1,0 +1,60 @@
+package genload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseDistribution checks the distribution parser over arbitrary
+// input: it must never panic, the String() of any accepted distribution
+// must re-parse to a reflect.DeepEqual value, and String must be a
+// fixed point under one formatting pass — the canonicalization the
+// sweep service's content hashes rely on. The embedded ('/'-separated)
+// spelling must round-trip the same way.
+func FuzzParseDistribution(f *testing.F) {
+	for _, s := range []string{
+		"det:5ms",
+		"exp:3ms",
+		"exp:2.4us",
+		"gamma:shape=2:scale=1ms",
+		"gamma:scale=1ms:shape=2",
+		"gamma:shape=0.5:scale=2.5ms",
+		"weibull:shape=1.5:scale=2ms",
+		"uniform:1ms:2ms",
+		"pareto:shape=3:min=1ms",
+		"exp:3ms:mod=0.5@100ms",
+		"exp:3ms:mod=0.5@100ms:mod=-0.25@70ms",
+		"gamma:shape=4:scale=750us:mod=1@1s",
+		"", "det", "exp:-3ms", "gamma:shape=2", "uniform:2ms:1ms",
+		"pareto:shape=0:min=1ms", "exp:3ms:mod=0.5", "bogus:1ms",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDistribution(s)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("ParseDistribution(%q) returned an invalid value: %v", s, err)
+		}
+		spec := d.String()
+		back, err := ParseDistribution(spec)
+		if err != nil {
+			t.Fatalf("ParseDistribution(%q) accepted but its String %q does not re-parse: %v", s, spec, err)
+		}
+		if !reflect.DeepEqual(back, d) {
+			t.Fatalf("round trip not value-exact: Parse(%q) = %#v, re-parsing %q = %#v", s, d, spec, back)
+		}
+		if got := back.String(); got != spec {
+			t.Fatalf("String not a fixed point: %q renders %q on re-parse", spec, got)
+		}
+		emb, err := ParseEmbedded(EmbedSpec(d))
+		if err != nil {
+			t.Fatalf("embedded spelling %q does not re-parse: %v", EmbedSpec(d), err)
+		}
+		if !reflect.DeepEqual(emb, d) {
+			t.Fatalf("embedded round trip not value-exact for %q", s)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// genSpec is a small generator sweep: a stochastic workload crossed
+// with a distribution axis.
+func genSpec() spec.Sweep {
+	return spec.Sweep{
+		Base: spec.Scenario{
+			Workload: "gen:8:steps=6:phase=gamma/shape=2/scale=1ms:seed=5",
+			Seed:     5,
+			Delay:    []spec.Delay{{Rank: 4, Step: 1, Duration: "10ms"}},
+		},
+		Axes: []spec.Axis{
+			{Kind: "distribution", Values: []string{"exp:1ms", "gamma:shape=2:scale=1ms"}},
+			{Kind: "seed", Values: []string{"1", "2"}},
+		},
+		Metrics: []string{"runtime", "idle", "events"},
+	}
+}
+
+// TestServerGeneratorSweep submits an open-system generator sweep
+// through POST /v1/sweeps and checks a re-submission with alternate —
+// canonically equal — spellings of the workload and the distribution
+// axis is answered from the cache with byte-identical results. The
+// cache key is the canonical spec hash, so "gamma:scale=1ms:shape=2"
+// and "gamma:shape=2:scale=1ms" must be the same sweep.
+func TestServerGeneratorSweep(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	srv := httptest.NewServer(Handler(m))
+	defer srv.Close()
+
+	first := postSpec(t, srv, genSpec())
+	if first.Cached {
+		t.Fatalf("fresh generator sweep flagged cached: %+v", first)
+	}
+	if st := waitDone(t, srv, first.ID); st.State != StateDone {
+		t.Fatalf("generator sweep failed: %+v", st)
+	}
+	_, wantCSV := getBody(t, srv.URL+"/v1/sweeps/"+first.ID+"?format=csv")
+	if len(wantCSV) == 0 {
+		t.Fatal("generator sweep rendered no CSV")
+	}
+
+	alt := genSpec()
+	alt.Base.Workload = "GEN:8:phase=gamma/scale=1ms/shape=2:steps=6:seed=5"
+	alt.Axes[0].Values = []string{"exp:1000us", "gamma:scale=1ms:shape=2"}
+	alt.Workers = 2
+	second := postSpec(t, srv, alt)
+	if !second.Cached {
+		t.Fatalf("canonically equal generator spec missed the cache: %+v", second)
+	}
+	_, gotCSV := getBody(t, srv.URL+"/v1/sweeps/"+second.ID+"?format=csv")
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Errorf("cached generator sweep differs:\n%s\nvs\n%s", gotCSV, wantCSV)
+	}
+
+	// A genuinely different distribution spelling is a different sweep.
+	third := genSpec()
+	third.Axes[0].Values = []string{"exp:1ms", "gamma:shape=3:scale=1ms"}
+	st := postSpec(t, srv, third)
+	if st.Cached {
+		t.Fatalf("different distribution axis hit the cache: %+v", st)
+	}
+	waitDone(t, srv, st.ID)
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/genload"
 	"repro/internal/netmodel"
 	"repro/internal/noise"
 	"repro/internal/topology"
@@ -85,7 +86,8 @@ type Delay struct {
 type Axis struct {
 	// Kind is one of AxisKinds: "noise" (E levels), "noiseprofile",
 	// "bytes", "d", "direction", "machine", "ranks", "seed",
-	// "topology", "workload", "netmodel", "latency", "bandwidth".
+	// "topology", "workload", "netmodel", "latency", "bandwidth",
+	// "distribution" (phase distributions for a gen workload base).
 	Kind   string   `json:"kind"`
 	Values []string `json:"values"`
 }
@@ -116,7 +118,7 @@ type Sweep struct {
 var AxisKinds = []string{
 	"noise", "noiseprofile", "bytes", "d", "direction", "machine",
 	"ranks", "seed", "topology", "workload", "netmodel", "latency",
-	"bandwidth",
+	"bandwidth", "distribution",
 }
 
 // MetricNames lists the metric columns a spec may request, in canonical
@@ -355,6 +357,7 @@ var axisValueCanon = map[string]func(string) (string, error){
 	"netmodel":     mustValue(canonNetModel),
 	"latency":      canonDuration,
 	"bandwidth":    canonRate,
+	"distribution": mustValue(canonDistribution),
 }
 
 // mustValue adapts an optional-field canonicalizer (empty allowed) into
@@ -390,6 +393,21 @@ func canonWorkload(v string) (string, error) {
 		return "", err
 	}
 	return fmt.Sprint(w), nil
+}
+
+// canonDistribution normalizes a ParseDistribution spelling (so
+// "gamma:scale=1ms:shape=2" and "gamma:shape=2:scale=1ms" hash
+// identically).
+func canonDistribution(v string) (string, error) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return "", nil
+	}
+	d, err := genload.ParseDistribution(v)
+	if err != nil {
+		return "", err
+	}
+	return d.String(), nil
 }
 
 func canonNoise(v string) (string, error) {

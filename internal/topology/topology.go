@@ -73,7 +73,9 @@ func ForwardOnly(t Topology) bool {
 // source rank: Shells(t, s)[h] lists the ranks at distance h, in
 // ascending rank order. On a chain the shells are rank pairs {s-h, s+h};
 // on a grid they are the Manhattan balls' surfaces an idle wave expands
-// through (BFS order from the injection rank).
+// through (BFS order from the injection rank). Ranks the metric reports
+// unreachable (negative distance, e.g. across job-mix blocks) belong to
+// no shell.
 func Shells(t Topology, source int) [][]int {
 	n := t.Ranks()
 	maxHop := 0
@@ -86,6 +88,9 @@ func Shells(t Topology, source int) [][]int {
 	}
 	out := make([][]int, maxHop+1)
 	for r := 0; r < n; r++ {
+		if hops[r] < 0 {
+			continue
+		}
 		out[hops[r]] = append(out[hops[r]], r)
 	}
 	return out

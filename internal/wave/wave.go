@@ -75,18 +75,24 @@ type Front struct {
 // minimal chain distance on chains (honoring periodicity), the Manhattan
 // distance on grids and tori — so the front is organized into the
 // hop-distance shells the wave expands through. The source rank itself
-// is excluded: under eager protocols it never idles.
+// is excluded: under eager protocols it never idles, and ranks the
+// metric reports unreachable (negative distance, e.g. across job-mix
+// blocks) are skipped — no wave reaches them.
 func TrackFront(set trace.Set, topo topology.Topology, source int, threshold sim.Time) Front {
 	f := Front{Source: source}
 	for _, rt := range set.Ranks {
 		if rt.Rank == source {
 			continue
 		}
+		hops := topo.HopDistance(source, rt.Rank)
+		if hops < 0 {
+			continue
+		}
 		for _, seg := range rt.Segments {
 			if seg.Kind == trace.Wait && seg.Duration() > threshold {
 				f.Samples = append(f.Samples, FrontSample{
 					Rank:      rt.Rank,
-					Hops:      topo.HopDistance(source, rt.Rank),
+					Hops:      hops,
 					Arrival:   seg.Start,
 					Amplitude: seg.Duration(),
 				})

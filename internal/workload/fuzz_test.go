@@ -25,8 +25,15 @@ func FuzzParseWorkload(f *testing.F) {
 		"bulk:18:d=2:uni:periodic",
 		"bulk:4x4x4:steps=7",
 		"bulk:24:steps=26:texec=5ms:bytes=4096",
+		"gen:8",
+		"gen:8:steps=10:phase=gamma/shape=2/scale=3ms:seed=7",
+		"gen:4x4:phase=exp/3ms/mod=0.5@100ms:delay=exp/1ms:every=exp/50ms",
+		"mix:bulk/6/texec=3ms+gen/4/phase=gamma/shape=2/scale=3ms/seed=1",
+		"mix:triad/6/ws=1.2e+09+divide/4/phase=3ms",
+		"replay:testdata/missing.iwt2",
 		"", "triad", "triad:2", "lbm:0", "walk:8", "bulk:8:texec=-1ms",
 		"divide:9:phase=never", "triad:18:cells=10",
+		"gen:8:delay=exp/1ms", "mix:bulk/6+mix/bulk/6", "replay:",
 	} {
 		f.Add(s)
 	}

@@ -56,6 +56,12 @@ type Defaults struct {
 //	lbm:<shape>[:steps=<n>][:cells=<n>]
 //	divide:<shape>[:steps=<n>][:phase=<duration>]
 //	bulk:<shape>[:steps=<n>][:texec=<duration>][:bytes=<n>][:topology option...]
+//	gen:<shape>[:steps=<n>][:phase=<dist>][:bytes=<n>][:delay=<dist>:every=<dist>][:seed=<n>]
+//	mix:<part>+<part>[+<part>...]
+//	replay:<file>
+//
+// The open-system forms (gen, mix, replay — stochastic generators, job
+// mixes, trace replay) are documented in parse_open.go.
 //
 // <shape> is either a rank count ("triad:18" — the workload's default
 // decomposition: a closed ring for triad/lbm, an open chain for divide)
@@ -85,13 +91,20 @@ func ParseWith(s string, def Defaults) (Workload, error) {
 	}
 	kind := strings.ToLower(strings.TrimSpace(parts[0]))
 	switch kind {
-	case "triad", "lbm", "divide", "bulk":
+	case "triad", "lbm", "divide", "bulk", "gen", "mix", "replay":
 	default:
-		return nil, fmt.Errorf("workload: %q: unknown kind %q (want triad, lbm, divide or bulk)", s, kind)
+		return nil, fmt.Errorf("workload: %q: unknown kind %q (want triad, lbm, divide, bulk, gen, mix or replay)", s, kind)
 	}
 
-	if kind == "bulk" {
+	switch kind {
+	case "bulk":
 		return parseBulk(s, parts[1], parts[2:], def)
+	case "gen":
+		return parseGen(s, parts[1], parts[2:], def)
+	case "mix":
+		return parseMix(s, strings.Join(parts[1:], ":"), def)
+	case "replay":
+		return parseReplay(strings.Join(parts[1:], ":"))
 	}
 
 	ranks, topo, err := parseShape(parts[1])

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/genload"
+)
+
+// Open-system workload forms, parsed by ParseWith alongside the closed
+// kernels:
+//
+//	gen:<shape>[:steps=<n>][:phase=<dist>][:bytes=<n>][:delay=<dist>:every=<dist>][:seed=<n>]
+//	mix:<part>+<part>[+<part>...]
+//	replay:<file>
+//
+// gen is the stochastic bulk-synchronous generator: phase times are
+// drawn per (rank, step) from the phase distribution, and the optional
+// delay/every pair adds a per-rank stochastic delay-injection process
+// (event magnitudes from delay, inter-arrival gaps from every). A
+// <dist> is an embedded ParseDistribution spec with '/' separators
+// ("phase=gamma/shape=2/scale=3ms"), the nested-spec idiom machine
+// noise uses. The phase default is exp/3ms (the bulk default made
+// stochastic); seed defaults to 0.
+//
+// mix co-runs several workloads on disjoint rank blocks of one
+// simulation. Each part is a complete workload spec with ':' separators
+// replaced by '/' ("mix:bulk/18+gen/8/phase=exp/3ms"); parts join with
+// '+' (a '+' directly after an 'e' stays inside the part — it spells a
+// float exponent like ws=1.2e+09). Mixes do not nest.
+//
+// replay rebuilds the workload of a recorded trace v2 file; everything
+// after the first ':' is the path.
+
+// genOptionKeys is the closed option-key set of the gen form; the mix
+// part reassembler needs it to tell a top-level gen option from an
+// embedded distribution option.
+var genOptionKeys = map[string]bool{
+	"steps": true, "phase": true, "bytes": true,
+	"delay": true, "every": true, "seed": true,
+}
+
+// defaultGenPhase builds the phase distribution a gen spec without a
+// phase= option draws from: exponential around the bulk-synchronous
+// default execution-phase length.
+func defaultGenPhase() genload.Distribution {
+	return genload.Exp{MeanTime: defaultBulkTexec}
+}
+
+// parseGen builds a GenWorkload from "gen:<shape>[:options]".
+func parseGen(orig, shape string, opts []string, def Defaults) (Workload, error) {
+	ranks, topo, err := parseShape(shape)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %q: %w", orig, err)
+	}
+	g := genload.GenWorkload{
+		Steps: def.Steps,
+		Bytes: genload.DefaultBytes,
+		Phase: defaultGenPhase(),
+	}
+	if topo != nil {
+		g.Topo = topo
+	} else {
+		g.Ranks = ranks
+	}
+	for _, opt := range opts {
+		k, v, err := splitOption(opt)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q: %w", orig, err)
+		}
+		switch k {
+		case "steps":
+			g.Steps, err = parsePositiveInt(v, "steps")
+		case "phase":
+			g.Phase, err = genload.ParseEmbedded(v)
+		case "bytes":
+			g.Bytes, err = parsePositiveInt(v, "bytes")
+		case "delay":
+			g.Delay, err = genload.ParseEmbedded(v)
+		case "every":
+			g.Every, err = genload.ParseEmbedded(v)
+		case "seed":
+			g.Seed, err = parseSeed(v)
+		default:
+			err = fmt.Errorf("unknown option %q for kind %q", k, "gen")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q: %w", orig, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseSeed reads an unsigned seed value.
+func parseSeed(v string) (uint64, error) {
+	n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad seed %q (want an unsigned integer)", v)
+	}
+	return n, nil
+}
+
+// parseMix builds a JobMix from "mix:<part>+<part>...".
+func parseMix(orig, spec string, def Defaults) (Workload, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("workload: %q: want mix:<part>+<part>, each part a workload spec with '/' for ':'", orig)
+	}
+	var m genload.JobMix
+	for _, part := range splitMixParts(spec) {
+		w, err := parseMixPart(part, def)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q: part %q: %w", orig, part, err)
+		}
+		m.Parts = append(m.Parts, w)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// splitMixParts splits a mix body on '+', except a '+' directly after an
+// 'e' or 'E', which spells a float exponent inside a part ("ws=1.2e+09").
+func splitMixParts(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '+' {
+			continue
+		}
+		if i > 0 && (s[i-1] == 'e' || s[i-1] == 'E') {
+			continue
+		}
+		parts = append(parts, s[start:i])
+		start = i + 1
+	}
+	return append(parts, s[start:])
+}
+
+// parseMixPart parses one '/'-separated mix part. The reassembly is
+// kind-aware: a replay part's tail is a file path (which may itself
+// contain '/'), and a gen part's embedded distributions keep their '/'
+// separators while the part-level separators become ':' again.
+func parseMixPart(part string, def Defaults) (Workload, error) {
+	toks := strings.Split(strings.TrimSpace(part), "/")
+	kind := strings.ToLower(strings.TrimSpace(toks[0]))
+	switch kind {
+	case "mix":
+		return nil, fmt.Errorf("job mixes do not nest; flatten the parts into one mix")
+	case "replay":
+		if len(toks) < 2 {
+			return nil, fmt.Errorf("want replay/<file>")
+		}
+		return parseReplay(strings.Join(toks[1:], "/"))
+	case "gen":
+		return ParseWith(reassembleGen(toks), def)
+	default:
+		return ParseWith(strings.Join(toks, ":"), def)
+	}
+}
+
+// reassembleGen rebuilds a gen spec from its mix-part tokens: tokens
+// after a phase=/delay=/every= option belong to that option's embedded
+// distribution value until the next top-level gen option key, so
+// "gen/8/phase=gamma/shape=2/scale=3ms/seed=1" round-trips to
+// "gen:8:phase=gamma/shape=2/scale=3ms:seed=1".
+func reassembleGen(toks []string) string {
+	out := make([]string, 0, len(toks))
+	inDist := false
+	for i, tok := range toks {
+		if i < 2 {
+			out = append(out, tok)
+			continue
+		}
+		key, _, hasEq := strings.Cut(tok, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		topLevel := hasEq && genOptionKeys[key]
+		if inDist && !topLevel {
+			out[len(out)-1] += "/" + tok
+			continue
+		}
+		out = append(out, tok)
+		inDist = hasEq && (key == "phase" || key == "delay" || key == "every")
+	}
+	return strings.Join(out, ":")
+}
+
+// parseReplay loads a recorded trace v2 file as a workload.
+func parseReplay(path string) (Workload, error) {
+	if strings.TrimSpace(path) == "" {
+		return nil, fmt.Errorf("workload: want replay:<file>")
+	}
+	w, err := genload.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

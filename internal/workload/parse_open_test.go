@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/genload"
+	"repro/internal/trace"
+)
+
+// TestDefaultStepsPinned pins genload's mirror of the parse default.
+func TestDefaultStepsPinned(t *testing.T) {
+	if genload.DefaultSteps != DefaultSteps {
+		t.Fatalf("genload.DefaultSteps = %d, workload.DefaultSteps = %d; keep them equal",
+			genload.DefaultSteps, DefaultSteps)
+	}
+}
+
+// TestParseGen checks the gen form: defaults, options, embedded
+// distributions, topology shapes, error cases.
+func TestParseGen(t *testing.T) {
+	w, err := Parse("gen:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := w.(genload.GenWorkload)
+	if !ok {
+		t.Fatalf("Parse(gen:8) = %T", w)
+	}
+	if g.Ranks != 8 || g.Steps != DefaultSteps || g.Bytes != genload.DefaultBytes {
+		t.Fatalf("gen defaults wrong: %+v", g)
+	}
+	if !reflect.DeepEqual(g.Phase, genload.Exp{MeanTime: defaultBulkTexec}) {
+		t.Fatalf("default phase = %#v", g.Phase)
+	}
+
+	w, err = Parse("gen:8:steps=10:phase=gamma/shape=2/scale=3ms:bytes=4096:delay=exp/1ms:every=exp/50ms:seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = w.(genload.GenWorkload)
+	want := genload.GenWorkload{
+		Ranks: 8, Steps: 10, Bytes: 4096, Seed: 7,
+		Phase: genload.Gamma{Shape: 2, Scale: 3e-3},
+		Delay: genload.Exp{MeanTime: 1e-3},
+		Every: genload.Exp{MeanTime: 50e-3},
+	}
+	if !reflect.DeepEqual(g, want) {
+		t.Fatalf("full gen parse:\ngot  %#v\nwant %#v", g, want)
+	}
+
+	w, err = Parse("gen:4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = w.(genload.GenWorkload)
+	if g.Topo == nil || g.Topo.Ranks() != 16 {
+		t.Fatalf("torus shape not bound: %+v", g)
+	}
+
+	for _, bad := range []string{
+		"gen",
+		"gen:0",
+		"gen:8:steps=0",
+		"gen:8:phase=bogus/1ms",
+		"gen:8:delay=exp/1ms", // delay without every
+		"gen:8:cells=10",
+		"gen:8:seed=-1",
+		"gen:8:seed=x",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestParseMix checks part splitting (incl. the float-exponent guard),
+// kind-aware reassembly of embedded distributions, and nesting errors.
+func TestParseMix(t *testing.T) {
+	w, err := Parse("mix:bulk/6/texec=3ms+gen/4/phase=gamma/shape=2/scale=3ms/seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := w.(genload.JobMix)
+	if !ok {
+		t.Fatalf("Parse(mix:...) = %T", w)
+	}
+	if len(m.Parts) != 2 {
+		t.Fatalf("got %d parts, want 2", len(m.Parts))
+	}
+	if _, ok := m.Parts[0].(BulkSync); !ok {
+		t.Fatalf("part 0 = %T, want BulkSync", m.Parts[0])
+	}
+	g, ok := m.Parts[1].(genload.GenWorkload)
+	if !ok {
+		t.Fatalf("part 1 = %T, want GenWorkload", m.Parts[1])
+	}
+	if !reflect.DeepEqual(g.Phase, genload.Gamma{Shape: 2, Scale: 3e-3}) || g.Seed != 1 {
+		t.Fatalf("embedded distribution mangled: %#v", g)
+	}
+
+	// '+' inside a float exponent stays inside the part.
+	w, err = Parse("mix:triad/6/ws=1.2e+09+triad/6/ws=2.4e+09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = w.(genload.JobMix)
+	if len(m.Parts) != 2 {
+		t.Fatalf("exponent guard failed: %d parts", len(m.Parts))
+	}
+	if ws := m.Parts[0].(StreamTriad).WorkingSet; ws != 1.2e9 {
+		t.Fatalf("part 0 working set = %g", ws)
+	}
+
+	for _, bad := range []string{
+		"mix:",
+		"mix:bulk/6+mix/bulk/6", // nesting
+		"mix:bogus/6",
+		"mix:bulk/6+",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestParseReplay checks replay:<path> loads a trace (with '/' in the
+// path), both top-level and as a mix part.
+func TestParseReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.iwt2")
+	rec := trace.Recorded{
+		Topology: "chain:2", Ranks: 2, Steps: 2, Bytes: 512, TexecNS: 3_000_000,
+		Exec:  [][]float64{{3e-3, 1.5e-3}, {4.2e-3, 2e-3}},
+		Delay: [][]float64{{0, 0}, {0, 0}},
+		Noise: [][]float64{{0, 0}, {0, 0}},
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteRecorded(fh, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := Parse("replay:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := w.(genload.Replay)
+	if !ok {
+		t.Fatalf("Parse(replay:...) = %T", w)
+	}
+	if r.Data.Ranks != 2 || r.Data.Exec[1][0] != 4.2e-3 {
+		t.Fatalf("replay data mangled: %+v", r.Data)
+	}
+	topo, err := w.Topology()
+	if err != nil || topo.Ranks() != 2 {
+		t.Fatalf("replay topology: %v, %v", topo, err)
+	}
+
+	// As a mix part, the path's own '/' separators survive.
+	mw, err := Parse("mix:replay/" + path + "+bulk/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mw.(genload.JobMix)
+	if _, ok := m.Parts[0].(genload.Replay); !ok {
+		t.Fatalf("mix replay part = %T", m.Parts[0])
+	}
+
+	if _, err := Parse("replay:"); err == nil {
+		t.Error("empty replay path accepted")
+	}
+	if _, err := Parse("replay:" + filepath.Join(dir, "missing.iwt2")); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}
+
+// TestOpenFormsStringRoundTrip checks the new forms' String() spellings
+// re-parse to deeply equal values and are formatting fixed points —
+// the invariant sweep labels and the spec canonicalizer build on.
+func TestOpenFormsStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"gen:8",
+		"gen:8:steps=10:phase=gamma/shape=2/scale=3ms:bytes=4096:delay=exp/1ms:every=exp/50ms:seed=7",
+		"gen:4x4:phase=exp/2ms:seed=3",
+		"gen:8:phase=exp/3ms/mod=0.5@100ms:seed=1",
+		"mix:bulk/6/texec=3ms+gen/4/phase=gamma/shape=2/scale=3ms/seed=1",
+		"mix:gen/4/phase=exp/3ms/mod=0.5@100ms/seed=2+divide/4/phase=3ms",
+	}
+	for _, s := range specs {
+		w, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		spec := fmt.Sprint(w)
+		back, err := Parse(spec)
+		if err != nil {
+			t.Errorf("String %q of %q does not re-parse: %v", spec, s, err)
+			continue
+		}
+		if !reflect.DeepEqual(back, w) {
+			t.Errorf("round trip of %q via %q not value-exact", s, spec)
+		}
+		if got := fmt.Sprint(back); got != spec {
+			t.Errorf("String not a fixed point: %q -> %q", spec, got)
+		}
+	}
+}

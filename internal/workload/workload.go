@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/genload"
 	"repro/internal/mpisim"
 	"repro/internal/noise"
 	"repro/internal/sim"
@@ -26,21 +27,18 @@ import (
 )
 
 // Workload is the common contract of every kernel the simulator can
-// run. Implementations are value types: methods never mutate the
-// receiver, so a Workload can be shared freely across concurrent sweep
-// jobs.
-type Workload interface {
-	// Validate checks the workload parameters without building programs.
-	Validate() error
-	// Topology returns the resolved communication topology the workload
-	// runs on. A nil topology (with nil error) means the workload has no
-	// declared structure — topology-bound analytics are then unavailable.
-	Topology() (topology.Topology, error)
-	// Delays lists the one-off injected delays the workload carries.
-	Delays() []noise.Injection
-	// Programs builds one simulator program per rank.
-	Programs() ([]mpisim.Program, error)
-}
+// run: validate the parameters, resolve the communication topology
+// (nil topology with nil error means "no declared structure"), expose
+// the injected delays, and build one simulator program per rank.
+// Implementations are value types: methods never mutate the receiver,
+// so a Workload can be shared freely across concurrent sweep jobs.
+//
+// The interface is an alias of genload.Part, the same contract declared
+// one layer down: the alias makes the two names one identical type, so
+// genload's generators (whose rebinding methods return Part) satisfy
+// Retargetable and Injectable here while the package dependency stays
+// one-way (this package imports genload, never the reverse).
+type Workload = genload.Part
 
 // PhaseHinter is implemented by workloads whose execution-phase length
 // is statically known (compute-bound kernels); the hint parameterizes
@@ -75,18 +73,23 @@ type Injectable interface {
 	WithInjections(...noise.Injection) Workload
 }
 
-// Compile-time checks: all four builders satisfy the full contract.
+// Compile-time checks: all builders, including the genload generators,
+// satisfy the full contract (the Workload alias makes genload's
+// Part-returning methods match the capability interfaces exactly).
 var (
 	_ Workload = BulkSync{}
 	_ Workload = StreamTriad{}
 	_ Workload = LBM{}
 	_ Workload = DivideKernel{}
+	_ Workload = genload.GenWorkload{}
+	_ Workload = genload.JobMix{}
+	_ Workload = genload.Replay{}
 
-	_ = []PhaseHinter{BulkSync{}, DivideKernel{}}
-	_ = []MessageHinter{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}}
+	_ = []PhaseHinter{BulkSync{}, DivideKernel{}, genload.GenWorkload{}, genload.Replay{}}
+	_ = []MessageHinter{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}, genload.GenWorkload{}, genload.Replay{}}
 	_ = []MemStreamer{BulkSync{}, StreamTriad{}, LBM{}}
-	_ = []Retargetable{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}}
-	_ = []Injectable{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}}
+	_ = []Retargetable{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}, genload.GenWorkload{}}
+	_ = []Injectable{BulkSync{}, StreamTriad{}, LBM{}, DivideKernel{}, genload.GenWorkload{}, genload.JobMix{}, genload.Replay{}}
 )
 
 // BulkSync is the paper's canonical benchmark skeleton: per time step an

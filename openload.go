@@ -1,0 +1,352 @@
+package idlewave
+
+// Open-system workloads: stochastic generators, multi-job mixes, and
+// deterministic record/replay of executed traces. The generation layer
+// lives in internal/genload; this file re-exports it and wires the
+// recording side into Simulate (ScenarioSpec.RecordTo writes a trace v2
+// file whose replay reproduces the run byte-identically).
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/genload"
+	"repro/internal/mpisim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Distribution is a parameterized duration distribution — the unit
+// generated workloads draw phase times, delay magnitudes and
+// inter-arrival gaps from. Built-in components: Det (point), Exp,
+// Gamma, Weibull, Uniform, Pareto, plus Modulated for multi-period
+// temporal rate envelopes. Build them directly or via
+// ParseDistribution.
+type Distribution = genload.Distribution
+
+// GenWorkload is the stochastic bulk-synchronous generator: per (rank,
+// step) the execution-phase duration is drawn from a Distribution, and
+// an optional renewal process injects stochastic delays along each
+// rank's timeline. All draws expand deterministically from the Seed at
+// Programs() time, so generated scenarios keep the byte-identical
+// determinism contract at any worker or shard count.
+type GenWorkload = genload.GenWorkload
+
+// JobMix co-runs several workloads on disjoint contiguous rank blocks
+// of one simulation — the open-system model of jobs sharing a machine.
+type JobMix = genload.JobMix
+
+// ReplayWorkload re-simulates a recorded trace v2: its programs mirror
+// the recorded run's exact op structure, so the replay reproduces the
+// source run byte-identically (pair it with the recorded machine and
+// its TraceNoise profile — ReplayScenario assembles all of that).
+type ReplayWorkload = genload.Replay
+
+// RecordedTrace is the decoded content of a trace v2 file.
+type RecordedTrace = trace.Recorded
+
+// NewGenWorkload builds a validated stochastic generator: steps
+// compute-communicate iterations on the topology, phase durations drawn
+// from phase, every draw fixed by seed. Set the Delay/Every fields
+// afterwards for a stochastic delay-injection process.
+func NewGenWorkload(topo Topology, steps int, phase Distribution, seed uint64) (GenWorkload, error) {
+	g := GenWorkload{Topo: topo, Steps: steps, Phase: phase, Bytes: genload.DefaultBytes, Seed: seed}
+	if err := g.Validate(); err != nil {
+		return GenWorkload{}, fmt.Errorf("idlewave: %w", err)
+	}
+	return g, nil
+}
+
+// NewJobMix builds a validated job mix co-running the given workloads
+// on disjoint rank blocks, in order.
+func NewJobMix(parts ...Workload) (JobMix, error) {
+	m := JobMix{Parts: parts}
+	if err := m.Validate(); err != nil {
+		return JobMix{}, fmt.Errorf("idlewave: %w", err)
+	}
+	return m, nil
+}
+
+// NewReplay loads a recorded trace v2 file as a workload. For a full
+// byte-identical re-simulation use ReplayScenario, which also restores
+// the recorded machine and noise.
+func NewReplay(path string) (ReplayWorkload, error) {
+	w, err := genload.Open(path)
+	if err != nil {
+		return ReplayWorkload{}, fmt.Errorf("idlewave: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return ReplayWorkload{}, fmt.Errorf("idlewave: %w", err)
+	}
+	return w, nil
+}
+
+// ParseDistribution builds a Distribution from the flag syntax:
+// "det:5ms", "exp:3ms", "gamma:shape=2:scale=1ms",
+// "weibull:shape=1.5:scale=2ms", "uniform:1ms:2ms",
+// "pareto:shape=3:min=1ms", each optionally with repeatable
+// "mod=<amp>@<period>" temporal-modulation terms.
+func ParseDistribution(s string) (Distribution, error) { return genload.ParseDistribution(s) }
+
+// ImportTraceCSV converts a simple external MPI timing log — CSV lines
+// "rank,step,phase_ns", optional header — into a trace v2 file that
+// replays through the simulator. The caller supplies the topology spec
+// the ranks communicated on and the per-neighbor message size the log
+// lacks.
+func ImportTraceCSV(csvPath, tracePath, topologySpec string, messageBytes int) error {
+	in, err := os.Open(csvPath)
+	if err != nil {
+		return fmt.Errorf("idlewave: %w", err)
+	}
+	defer in.Close()
+	rec, err := trace.ImportCSV(in, topologySpec, messageBytes)
+	if err != nil {
+		return fmt.Errorf("idlewave: %w", err)
+	}
+	out, err := os.Create(tracePath)
+	if err != nil {
+		return fmt.Errorf("idlewave: %w", err)
+	}
+	if err := trace.WriteRecorded(out, rec); err != nil {
+		out.Close()
+		return fmt.Errorf("idlewave: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("idlewave: %w", err)
+	}
+	return nil
+}
+
+// ReplayScenario builds the scenario that re-simulates a recorded trace
+// v2 file byte-identically: the recorded machine with its natural noise
+// silenced (the recording already contains every noise draw), the
+// recorded network-model override if one was set, the recorded noise
+// replayed verbatim through the workload's TraceNoise profile, and the
+// ReplayWorkload itself. Traces recorded without a machine spec (CSV
+// imports) replay on the default machine, noise-silenced.
+func ReplayScenario(path string) (ScenarioSpec, error) {
+	w, err := NewReplay(path)
+	if err != nil {
+		return ScenarioSpec{}, err
+	}
+	rec := w.Data
+	machineSpec := rec.Machine
+	if machineSpec == "" {
+		machineSpec = Emmy().Name
+	}
+	m, err := ParseMachine(machineSpec + ":noise=0")
+	if err != nil {
+		return ScenarioSpec{}, fmt.Errorf("idlewave: recorded machine: %w", err)
+	}
+	spec := ScenarioSpec{
+		Machine:      m,
+		Workload:     w,
+		Noise:        w.NoiseProfile(),
+		Texec:        time.Duration(rec.TexecNS),
+		MessageBytes: rec.Bytes,
+		Seed:         rec.Seed,
+	}
+	if rec.NetModel != "" {
+		if spec.NetModel, err = ParseNetModel(rec.NetModel); err != nil {
+			return ScenarioSpec{}, fmt.Errorf("idlewave: recorded net model: %w", err)
+		}
+	}
+	return spec, nil
+}
+
+// DistributionAxis varies the phase distribution of a generated
+// workload — the open-system analog of NoiseAxis. The base spec's
+// Workload must be a GenWorkload (set it, or let WorkloadAxis with gen
+// workloads come first); each grid point re-draws its phases from that
+// point's distribution under the same seed.
+func DistributionAxis(ds ...Distribution) SweepAxis {
+	labels := make([]string, len(ds))
+	for i, d := range ds {
+		labels[i] = d.String()
+	}
+	return SweepAxis{
+		Name:   "distribution",
+		Labels: labels,
+		Apply: func(s *ScenarioSpec, i int) {
+			g, ok := s.Workload.(GenWorkload)
+			if !ok {
+				s.Workload = invalidWorkload{reason: fmt.Sprintf(
+					"distribution axis needs a GenWorkload base, got %T", s.Workload)}
+				return
+			}
+			s.Workload = g.WithPhase(ds[i])
+		},
+	}
+}
+
+// invalidWorkload surfaces an axis-composition error through the
+// Workload contract (SweepAxis.Apply cannot return one itself).
+type invalidWorkload struct{ reason string }
+
+func (w invalidWorkload) Validate() error                     { return fmt.Errorf("idlewave: %s", w.reason) }
+func (w invalidWorkload) Topology() (Topology, error)         { return nil, w.Validate() }
+func (w invalidWorkload) Delays() []Injection                 { return nil }
+func (w invalidWorkload) Programs() ([]mpisim.Program, error) { return nil, w.Validate() }
+
+// noiseRecorder captures the exact per-(rank, step) noise draws of a
+// run, the one input of a byte-identical replay that lives outside the
+// programs. Under sharded execution each shard's injector records into
+// the rows of its own ranks, so no two goroutines touch the same cell.
+type noiseRecorder struct {
+	noise [][]float64
+}
+
+func newNoiseRecorder(ranks, steps int) *noiseRecorder {
+	nr := &noiseRecorder{noise: make([][]float64, ranks)}
+	for i := range nr.noise {
+		nr.noise[i] = make([]float64, steps)
+	}
+	return nr
+}
+
+// wrap interposes the recorder on an injector. The simulator clamps
+// negative draws to zero before applying them, so the recorder stores
+// the clamped value — the one the run actually used.
+func (nr *noiseRecorder) wrap(f mpisim.NoiseFunc) mpisim.NoiseFunc {
+	if nr == nil || f == nil {
+		return f
+	}
+	return func(rank, step int) sim.Time {
+		v := f(rank, step)
+		applied := float64(v)
+		if applied < 0 {
+			applied = 0
+		}
+		if rank >= 0 && rank < len(nr.noise) {
+			if row := nr.noise[rank]; step >= 0 && step < len(row) {
+				row[step] += applied
+			}
+		}
+		return v
+	}
+}
+
+// programSteps returns the step count of built programs (max step
+// index + 1 across all stepped ops).
+func programSteps(progs []mpisim.Program) int {
+	steps := 0
+	bump := func(s int) {
+		if s+1 > steps {
+			steps = s + 1
+		}
+	}
+	for _, p := range progs {
+		for _, op := range p {
+			switch o := op.(type) {
+			case mpisim.Compute:
+				bump(o.Step)
+			case mpisim.Delay:
+				bump(o.Step)
+			case mpisim.Waitall:
+				bump(o.Step)
+			}
+		}
+	}
+	return steps
+}
+
+// buildRecorded assembles the trace v2 content of a finished run: the
+// per-(rank, step) exec/delay durations read off the built programs
+// (the source of truth — measured segment lengths can drift by an ulp),
+// the recorded noise draws, and the scenario context replay needs. The
+// Exact flag is set when rebuilding replay-style programs from the
+// matrices reproduces the source programs op for op — the precondition
+// of byte-identical replay.
+func buildRecorded(spec ScenarioSpec, wl Workload, topo Topology, progs []mpisim.Program, res *mpisim.Result, nr *noiseRecorder) (trace.Recorded, error) {
+	if topo == nil {
+		return trace.Recorded{}, fmt.Errorf("recording needs a topology; this workload declares none")
+	}
+	topoSpec := topo.String()
+	if _, err := ParseTopology(topoSpec); err != nil {
+		return trace.Recorded{}, fmt.Errorf("recording needs a re-parseable topology, and %q is not (%v)", topoSpec, err)
+	}
+	steps := programSteps(progs)
+	if steps <= 0 {
+		return trace.Recorded{}, fmt.Errorf("recording needs at least one program step")
+	}
+	ranks := len(progs)
+	rec := trace.Recorded{
+		Topology: topoSpec,
+		Machine:  spec.Machine.Name,
+		Workload: workloadLabel(wl),
+		Seed:     spec.Seed,
+		Ranks:    ranks,
+		Steps:    steps,
+		Bytes:    spec.MessageBytes,
+		TexecNS:  spec.Texec.Nanoseconds(),
+		Exec:     make([][]float64, ranks),
+		Delay:    make([][]float64, ranks),
+		Noise:    nr.noise,
+		StepEnd:  make([][]float64, ranks),
+	}
+	if spec.NetModel != nil {
+		rec.NetModel = fmt.Sprint(spec.NetModel)
+	}
+	for i, p := range progs {
+		rec.Exec[i] = make([]float64, steps)
+		rec.Delay[i] = make([]float64, steps)
+		for _, op := range p {
+			switch o := op.(type) {
+			case mpisim.Compute:
+				rec.Exec[i][o.Step] += float64(o.Duration)
+			case mpisim.Delay:
+				rec.Delay[i][o.Step] += float64(o.Duration)
+			}
+		}
+	}
+	for _, rt := range res.Traces.Ranks {
+		if rt.Rank < 0 || rt.Rank >= ranks {
+			continue
+		}
+		ends := make([]float64, len(rt.StepEnd))
+		for s, t := range rt.StepEnd {
+			ends[s] = float64(t)
+		}
+		rec.StepEnd[rt.Rank] = ends
+	}
+	rec.Exact = replaysExactly(rec, topo, progs)
+	return rec, nil
+}
+
+// replaysExactly reports whether the replay-side program reconstruction
+// reproduces the source programs op for op — true for bulk-shaped
+// compute-bound programs (BulkSync, GenWorkload), false for memory-bound
+// phases, multi-compute steps or custom op orders, whose replay is
+// approximate.
+func replaysExactly(rec trace.Recorded, topo Topology, progs []mpisim.Program) bool {
+	replay := genload.Replay{Data: &rec}
+	rebuilt, err := replay.Programs()
+	if err != nil || len(rebuilt) != len(progs) {
+		return false
+	}
+	for i := range progs {
+		if !reflect.DeepEqual(rebuilt[i], progs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// writeRecording writes the run's trace v2 file to spec.RecordTo.
+func writeRecording(spec ScenarioSpec, wl Workload, topo Topology, progs []mpisim.Program, res *mpisim.Result, nr *noiseRecorder) error {
+	rec, err := buildRecorded(spec, wl, topo, progs, res, nr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(spec.RecordTo)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteRecorded(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

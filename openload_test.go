@@ -1,0 +1,293 @@
+package idlewave
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// genScenario builds the open-system scenario the record/replay and
+// determinism tests share: a stochastic generator with a background
+// injection process on the default machine (natural noise on), plus
+// injected exponential noise and one deterministic delay.
+func genScenario(t *testing.T) ScenarioSpec {
+	t.Helper()
+	wl, err := ParseWorkload("gen:16:steps=12:phase=gamma/shape=2/scale=2ms:delay=exp/500us:every=exp/20ms:seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ScenarioSpec{
+		Workload:   wl,
+		Delay:      []Injection{Inject(8, 2, 15*time.Millisecond)},
+		NoiseLevel: 0.1,
+		Seed:       42,
+	}
+}
+
+// resultKey marshals the fields two byte-identical runs must share.
+func resultKey(t *testing.T, res *Result) string {
+	t.Helper()
+	traces, err := json.Marshal(res.Traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := json.Marshal(res.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := json.Marshal(res.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(traces) + "|" + string(events) + "|" + string(end)
+}
+
+// TestRecordReplayByteIdentical is the record/replay contract: a run
+// recorded with ScenarioSpec.RecordTo replays — through ReplayScenario
+// and the replay: workload — with byte-identical Result tables, noise
+// and all, and the trace marks itself Exact.
+func TestRecordReplayByteIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.iwt2")
+	spec := genScenario(t)
+	spec.RecordTo = path
+	src, err := Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := NewReplay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := loaded.Data
+	if !rec.Exact {
+		t.Fatal("compute-bound bulk-shaped run should record Exact=true")
+	}
+	if rec.Ranks != 16 || rec.Steps != 12 {
+		t.Fatalf("recorded shape %dx%d, want 16x12", rec.Ranks, rec.Steps)
+	}
+
+	replay, err := ReplayScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Simulate(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultKey(t, again), resultKey(t, src); got != want {
+		t.Fatal("replayed run diverges from the recorded run")
+	}
+
+	// The replay: workload spelling reaches the same data.
+	wl, err := ParseWorkload("replay:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wl.(ReplayWorkload); !ok {
+		t.Fatalf("ParseWorkload(replay:) = %T", wl)
+	}
+
+	// Replaying the replay re-records the same matrices: the fixed point
+	// of the record/replay loop.
+	replay2 := replay
+	path2 := filepath.Join(t.TempDir(), "run2.iwt2")
+	replay2.RecordTo = path2
+	if _, err := Simulate(replay2); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := NewReplay(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 := loaded2.Data
+	if !reflect.DeepEqual(rec2.Exec, rec.Exec) || !reflect.DeepEqual(rec2.Delay, rec.Delay) || !reflect.DeepEqual(rec2.Noise, rec.Noise) {
+		t.Fatal("re-recording a replay changed the timing matrices")
+	}
+}
+
+// TestRecordRejectsUnparseableTopology pins the documented limitation:
+// a mix's blocks(...) composite topology has no flag spelling, so
+// recording one errors up front instead of writing an unloadable file.
+func TestRecordRejectsUnparseableTopology(t *testing.T) {
+	mix, err := ParseWorkload("mix:bulk/4/texec=3ms+bulk/4/texec=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ScenarioSpec{
+		Workload: mix,
+		RecordTo: filepath.Join(t.TempDir(), "mix.iwt2"),
+	}
+	if _, err := Simulate(spec); err == nil {
+		t.Fatal("recording a blocks(...) topology should error")
+	}
+}
+
+// TestGenShardInvariance extends the parallel-DES determinism contract
+// to generated workloads and mixes: any Shards value yields the serial
+// bytes (gen is compute-bound and bulk-shaped, so it genuinely shards;
+// a mix falls back when ineligible and must still match).
+func TestGenShardInvariance(t *testing.T) {
+	mixWl, err := ParseWorkload("mix:gen/6/phase=exp/2ms/seed=3+bulk/6/texec=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec ScenarioSpec
+	}{
+		{"gen", genScenario(t)},
+		{"mix", ScenarioSpec{Workload: mixWl, Seed: 9, NoiseLevel: 0.05,
+			Delay: []Injection{Inject(2, 1, 10*time.Millisecond)}}},
+	}
+	for _, sc := range cases {
+		t.Run(sc.name, func(t *testing.T) {
+			serial, err := Simulate(sc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := resultKey(t, serial)
+			for _, shards := range shardLadder()[1:] {
+				sp := sc.spec
+				sp.Shards = shards
+				res, err := Simulate(sp)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if resultKey(t, res) != ref {
+					t.Errorf("shards=%d diverges from the serial run", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestGenSweepWorkerInvariance checks a generator sweep produces
+// byte-identical tables at any worker count — the property that lets
+// the sweep service cache generator sweeps content-addressed.
+func TestGenSweepWorkerInvariance(t *testing.T) {
+	base := genScenario(t)
+	ds := make([]Distribution, 0, 3)
+	for _, s := range []string{"exp:2ms", "gamma:shape=2:scale=1ms", "det:2ms"} {
+		d, err := ParseDistribution(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+	spec := SweepSpec{
+		Base: base,
+		Axes: []SweepAxis{
+			DistributionAxis(ds...),
+			SeedAxis(1, 2),
+		},
+		Metrics: []Metric{MetricRuntime(), MetricTotalIdle(), MetricEvents()},
+	}
+	render := func(workers int) string {
+		sp := spec
+		sp.Workers = workers
+		table, err := Sweep(sp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := table.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := render(1)
+	if got := render(runtime.NumCPU()); got != ref {
+		t.Fatal("sweep output depends on the worker count")
+	}
+}
+
+// TestDistributionAxisNeedsGenerator pins the axis's error surface:
+// applying it to a workload without a phase distribution fails the
+// sweep with a clear error instead of silently no-opping.
+func TestDistributionAxisNeedsGenerator(t *testing.T) {
+	wl, err := ParseWorkload("bulk:8:texec=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseDistribution("exp:2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Sweep(SweepSpec{
+		Base:    ScenarioSpec{Workload: wl, Seed: 1},
+		Axes:    []SweepAxis{DistributionAxis(d)},
+		Metrics: []Metric{MetricRuntime()},
+	})
+	if err == nil {
+		t.Fatal("distribution axis over a non-generator workload should error")
+	}
+}
+
+// TestImportTraceCSV checks the CSV import path end to end: an external
+// timing log becomes a replayable trace file.
+func TestImportTraceCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "log.csv")
+	tracePath := filepath.Join(dir, "log.iwt2")
+	csv := "rank,step,phase_ns\n0,0,3000000\n0,1,2000000\n1,0,2500000\n1,1,3500000\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ImportTraceCSV(csvPath, tracePath, "chain:2", 4096); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ReplayScenario(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces.Steps() != 2 {
+		t.Fatalf("imported replay ran %d steps, want 2", res.Traces.Steps())
+	}
+}
+
+// TestOpenConstructors exercises the public builders.
+func TestOpenConstructors(t *testing.T) {
+	d, err := ParseDistribution("gamma:shape=2:scale=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenWorkload(nil, 0, d, 7)
+	if err == nil {
+		t.Fatal("NewGenWorkload with no shape should error")
+	}
+	topo, err := ParseTopology("chain:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = NewGenWorkload(topo, 10, d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := NewJobMix(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := mix.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Ranks() != 16 {
+		t.Fatalf("mix ranks = %d, want 16", mt.Ranks())
+	}
+	if _, err := NewJobMix(); err == nil {
+		t.Fatal("NewJobMix with no parts should error")
+	}
+	if _, err := NewReplay(filepath.Join(t.TempDir(), "missing.iwt2")); err == nil {
+		t.Fatal("NewReplay on a missing file should error")
+	}
+}

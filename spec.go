@@ -312,6 +312,16 @@ func axisFromSpec(a SpecAxis, base SpecScenario) (SweepAxis, error) {
 			bws[i] = bw
 		}
 		return BandwidthAxis(bws...), nil
+	case "distribution":
+		ds := make([]Distribution, len(vals))
+		for i, v := range vals {
+			d, err := ParseDistribution(v)
+			if err != nil {
+				return zero, err
+			}
+			ds[i] = d
+		}
+		return DistributionAxis(ds...), nil
 	}
 	return zero, fmt.Errorf("unknown axis kind %q", a.Kind)
 }

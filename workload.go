@@ -100,10 +100,18 @@ func NewDivideKernel(ranks, steps int, phaseTime time.Duration) (DivideKernel, e
 //	lbm:<shape>[:steps=<n>][:cells=<n>]
 //	divide:<shape>[:steps=<n>][:phase=<duration>]
 //	bulk:<shape>[:steps=<n>][:texec=<duration>][:bytes=<n>][:topology option...]
+//	gen:<shape>[:steps=<n>][:phase=<dist>][:bytes=<n>][:delay=<dist>:every=<dist>][:seed=<n>]
+//	mix:<part>+<part>[+<part>...]
+//	replay:<path>
 //
 // <shape> is a rank count ("triad:18") or grid extents ("lbm:16x16",
 // a fully periodic torus decomposition). Steps default to 24 when no
-// steps= option is given. See cmd/idlewave -workload and cmd/sweep
+// steps= option is given. gen draws per-rank phase durations (and
+// optionally extra injected delays) from the distribution syntax of
+// ParseDistribution with ':' spelled '/' ("gen:64:phase=gamma/shape=2/
+// scale=3ms"); mix interleaves parts over disjoint rank blocks with
+// each part's ':' spelled '/'; replay re-runs a trace recorded via
+// ScenarioSpec.RecordTo. See cmd/idlewave -workload and cmd/sweep
 // -workload.
 func ParseWorkload(s string) (Workload, error) { return workload.Parse(s) }
 
